@@ -1,0 +1,195 @@
+// Package dynagg_bench holds the benchmark harness: one testing.B
+// benchmark per figure of the paper's evaluation (plus the ablations
+// from DESIGN.md). Run with
+//
+//	go test -bench=. -benchmem
+//
+// Populations are scaled down from the paper's 100,000 hosts so the
+// full suite completes in minutes; pass -full via the dynaggsim CLI
+// for paper-scale runs. Each benchmark regenerates the corresponding
+// figure's data series end to end (workload, failure schedule,
+// protocol, metrics), so ns/op measures the cost of a complete
+// experiment at the benchmark scale.
+package dynagg_bench
+
+import (
+	"testing"
+
+	"dynagg/internal/experiments"
+)
+
+// benchScale is the population used by the figure benchmarks. The
+// curves keep their paper shape from roughly 2,000 hosts upward.
+func benchScale() experiments.Scale {
+	sc := experiments.Default()
+	sc.N = 2000
+	sc.Rounds = 40
+	return sc
+}
+
+// BenchmarkFig6BitCounterCDF regenerates Figure 6: the distribution of
+// Count-Sketch-Reset bit counters in fully converged networks, the
+// data behind the f(k) = 7 + k/4 cutoff.
+func BenchmarkFig6BitCounterCDF(b *testing.B) {
+	opts := experiments.DefaultFig6()
+	opts.Sizes = []int{1000}
+	opts.Seed = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = experiments.Fig6(opts)
+	}
+}
+
+// BenchmarkFig8UncorrelatedFailures regenerates Figure 8: dynamic
+// averaging accuracy when half the hosts fail at random.
+func BenchmarkFig8UncorrelatedFailures(b *testing.B) {
+	sc := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig8(sc)
+	}
+}
+
+// BenchmarkFig9DynamicCounting regenerates Figure 9: Count-Sketch-Reset
+// versus naive sketch counting across a massive failure.
+func BenchmarkFig9DynamicCounting(b *testing.B) {
+	sc := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig9(sc)
+	}
+}
+
+// BenchmarkFig10aCorrelatedFailures regenerates Figure 10a: basic
+// Push-Sum-Revert under value-correlated failures.
+func BenchmarkFig10aCorrelatedFailures(b *testing.B) {
+	sc := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig10a(sc)
+	}
+}
+
+// BenchmarkFig10bFullTransfer regenerates Figure 10b: the Full-Transfer
+// optimization under value-correlated failures.
+func BenchmarkFig10bFullTransfer(b *testing.B) {
+	sc := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig10b(sc)
+	}
+}
+
+// BenchmarkFig11TraceAverage regenerates Figure 11 (left column):
+// trace-driven dynamic averaging on the synthetic Haggle-like dataset 1.
+func BenchmarkFig11TraceAverage(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig11Avg(1, 1)
+	}
+}
+
+// BenchmarkFig11TraceSum regenerates Figure 11 (right column):
+// trace-driven dynamic size estimation on dataset 1.
+func BenchmarkFig11TraceSum(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig11Sum(1, 1)
+	}
+}
+
+// BenchmarkAblationPushPull measures the push versus push/pull
+// convergence comparison (§III-A, Karp et al.).
+func BenchmarkAblationPushPull(b *testing.B) {
+	sc := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationPushPull(sc)
+	}
+}
+
+// BenchmarkAblationAdaptive measures the indegree-scaled reversion
+// ablation (§III-A).
+func BenchmarkAblationAdaptive(b *testing.B) {
+	sc := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationAdaptive(sc)
+	}
+}
+
+// BenchmarkAblationBins measures sketch accuracy versus bin count
+// (§V-B, the 64-bin / 9.7% expectation).
+func BenchmarkAblationBins(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationBins(5, 5000, 1)
+	}
+}
+
+// BenchmarkAblationEpoch measures the epoch-reset baseline sensitivity
+// study (§II-C).
+func BenchmarkAblationEpoch(b *testing.B) {
+	sc := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationEpoch(sc)
+	}
+}
+
+// BenchmarkAblationOverlay measures the TAG-style spanning-tree
+// baseline under churn.
+func BenchmarkAblationOverlay(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationOverlay(30, 1)
+	}
+}
+
+// BenchmarkAblationMoments measures the dynamic standard-deviation
+// extension under correlated failures.
+func BenchmarkAblationMoments(b *testing.B) {
+	sc := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationMoments(sc)
+	}
+}
+
+// BenchmarkAblationExtremes measures the dynamic max extension under
+// correlated failures.
+func BenchmarkAblationExtremes(b *testing.B) {
+	sc := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationExtremes(sc)
+	}
+}
+
+// BenchmarkAblationGridCutoff measures the spatial cutoff calibration
+// sweep.
+func BenchmarkAblationGridCutoff(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationGridCutoff(16, 1)
+	}
+}
+
+// BenchmarkAblationBandwidth measures the wire-bytes-per-message
+// comparison across all protocols.
+func BenchmarkAblationBandwidth(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationBandwidth(1000, 1)
+	}
+}
+
+// BenchmarkAblationMobility measures dynamic averaging under
+// random-waypoint mobility.
+func BenchmarkAblationMobility(b *testing.B) {
+	sc := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationMobility(sc)
+	}
+}

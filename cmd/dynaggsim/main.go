@@ -1,0 +1,295 @@
+// Command dynaggsim regenerates every figure of "Dynamic Approaches to
+// In-Network Aggregation" (Kennedy, Koch, Demers, ICDE 2009) plus the
+// ablations listed in DESIGN.md, printing paper-style data tables to
+// stdout (or CSV/JSON for plotting tools).
+//
+// Usage:
+//
+//	dynaggsim <experiment> [flags]
+//
+// Experiments:
+//
+//	fig6   bit-counter distribution CDFs (Count-Sketch-Reset cutoff)
+//	fig8   dynamic averaging, uncorrelated failures
+//	fig9   dynamic counting under failure
+//	fig10a dynamic averaging, correlated failures (basic)
+//	fig10b dynamic averaging, correlated failures (full-transfer)
+//	fig11avg  trace-driven dynamic average (use -dataset 1..3)
+//	fig11sum  trace-driven dynamic size estimate (use -dataset 1..3)
+//	ablation-pushpull | ablation-adaptive | ablation-bins |
+//	ablation-epoch    | ablation-overlay  | ablation-moments |
+//	ablation-extremes | ablation-gridcutoff | ablation-bandwidth |
+//	ablation-mobility
+//	all    run everything at the current scale
+//
+// Trace tooling:
+//
+//	trace-gen   generate a synthetic contact trace (-dataset 1..3,
+//	            -o file; interchange format, see package trace)
+//	trace-info  summarize a trace file (-in file; reads the
+//	            interchange format, or CRAWDAD contact tables with
+//	            -contacts)
+//
+// Flags:
+//
+//	-full       paper-scale populations (100,000 hosts; slower)
+//	-n N        override host count
+//	-rounds R   override round count
+//	-seed S     PRNG seed
+//	-dataset D  trace dataset 1-3 (fig11 experiments; default 1)
+//	-format F   output format: table (default), csv, json
+//	-o FILE     write output to FILE instead of stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dynagg/internal/experiments"
+	"dynagg/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dynaggsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing experiment name")
+	}
+	name := args[0]
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	full := fs.Bool("full", false, "paper-scale populations (100,000 hosts)")
+	n := fs.Int("n", 0, "override host count")
+	rounds := fs.Int("rounds", 0, "override round count")
+	seed := fs.Uint64("seed", 1, "PRNG seed")
+	dataset := fs.Int("dataset", 1, "trace dataset 1-3")
+	format := fs.String("format", "table", "output format: table, csv, json")
+	outPath := fs.String("o", "", "write output to file instead of stdout")
+	inPath := fs.String("in", "", "input trace file (trace-info)")
+	contacts := fs.Bool("contacts", false, "parse -in as a CRAWDAD contact table")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	emit := func(r experiments.Result) error {
+		return experiments.WriteResult(out, r, experiments.Format(*format))
+	}
+
+	sc := experiments.Default()
+	if *full {
+		sc = experiments.Full()
+	}
+	if *n > 0 {
+		sc.N = *n
+	}
+	if *rounds > 0 {
+		sc.Rounds = *rounds
+	}
+	sc.Seed = *seed
+
+	switch name {
+	case "trace-gen":
+		return traceGen(out, *dataset, *seed, *n)
+	case "trace-info":
+		return traceInfo(out, *inPath, *contacts)
+	}
+
+	switch name {
+	case "fig6":
+		opts := experiments.DefaultFig6()
+		if *full {
+			opts = experiments.FullFig6()
+		}
+		opts.Seed = *seed
+		frs, table := experiments.Fig6(opts)
+		if err := emit(table); err != nil {
+			return err
+		}
+		intercept, invSlope := experiments.FitCutoff(frs, 0.99)
+		fmt.Fprintf(out, "# fitted cutoff: f(k) = %.1f + k/%.1f (paper: 7 + k/4)\n", intercept, invSlope)
+		printFig6CDFs(out, frs)
+	case "fig8":
+		return emit(experiments.Fig8(sc))
+	case "fig9":
+		return emit(experiments.Fig9(sc))
+	case "fig10a":
+		return emit(experiments.Fig10a(sc))
+	case "fig10b":
+		return emit(experiments.Fig10b(sc))
+	case "fig11avg":
+		return emit(experiments.Fig11Avg(*dataset, *seed))
+	case "fig11sum":
+		return emit(experiments.Fig11Sum(*dataset, *seed))
+	case "ablation-pushpull":
+		return emit(experiments.AblationPushPull(sc))
+	case "ablation-adaptive":
+		return emit(experiments.AblationAdaptive(sc))
+	case "ablation-bins":
+		return emit(experiments.AblationBins(20, 20000, *seed))
+	case "ablation-epoch":
+		return emit(experiments.AblationEpoch(sc))
+	case "ablation-overlay":
+		return emit(experiments.AblationOverlay(50, *seed))
+	case "ablation-moments":
+		return emit(experiments.AblationMoments(sc))
+	case "ablation-extremes":
+		return emit(experiments.AblationExtremes(sc))
+	case "ablation-gridcutoff":
+		side := 28
+		if *n > 0 {
+			side = *n
+		}
+		return emit(experiments.AblationGridCutoff(side, *seed))
+	case "ablation-bandwidth":
+		bn := 2000
+		if *n > 0 {
+			bn = *n
+		}
+		return emit(experiments.AblationBandwidth(bn, *seed))
+	case "ablation-mobility":
+		return emit(experiments.AblationMobility(sc))
+	case "all":
+		return runAll(out, sc, *full, *seed)
+	default:
+		usage()
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+// traceGen writes a synthetic contact trace in the interchange format.
+func traceGen(out io.Writer, dataset int, seed uint64, n int) error {
+	if dataset < 1 || dataset > 3 {
+		return fmt.Errorf("trace-gen: -dataset must be 1..3, got %d", dataset)
+	}
+	params := experiments.TraceDataset(dataset)
+	params.Seed = seed
+	if n > 1 {
+		params.N = n
+	}
+	return trace.Write(out, trace.Generate(params))
+}
+
+// traceInfo summarizes a trace file: device count, duration, event
+// volume, and hourly connectivity statistics.
+func traceInfo(out io.Writer, path string, contacts bool) error {
+	if path == "" {
+		return fmt.Errorf("trace-info: -in file required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var tr *trace.Trace
+	if contacts {
+		tr, err = trace.ReadContacts(path, f)
+	} else {
+		tr, err = trace.Read(f)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "name:     %s\n", tr.Name)
+	fmt.Fprintf(out, "devices:  %d\n", tr.N)
+	fmt.Fprintf(out, "duration: %v (%.1f hours)\n", tr.Duration, tr.Duration.Hours())
+	fmt.Fprintf(out, "events:   %d\n", len(tr.Events))
+
+	c := trace.NewCursor(tr)
+	fmt.Fprintf(out, "%6s  %10s  %12s\n", "hour", "links up", "mean degree")
+	hours := int(tr.Duration.Hours())
+	for h := 0; h <= hours; h++ {
+		c.AdvanceTo(time.Duration(h) * time.Hour)
+		links := 0
+		for d := 0; d < tr.N; d++ {
+			links += c.Degree(d)
+		}
+		fmt.Fprintf(out, "%6d  %10d  %12.2f\n", h, links/2, float64(links)/float64(tr.N))
+	}
+	return nil
+}
+
+func runAll(out io.Writer, sc experiments.Scale, full bool, seed uint64) error {
+	opts := experiments.DefaultFig6()
+	if full {
+		opts = experiments.FullFig6()
+	}
+	opts.Seed = seed
+	frs, table := experiments.Fig6(opts)
+	experiments.PrintResult(out, table)
+	intercept, invSlope := experiments.FitCutoff(frs, 0.99)
+	fmt.Fprintf(out, "# fitted cutoff: f(k) = %.1f + k/%.1f (paper: 7 + k/4)\n\n", intercept, invSlope)
+
+	for _, r := range []experiments.Result{
+		experiments.Fig8(sc),
+		experiments.Fig9(sc),
+		experiments.Fig10a(sc),
+		experiments.Fig10b(sc),
+		experiments.Fig11Avg(1, seed),
+		experiments.Fig11Sum(1, seed),
+		experiments.AblationPushPull(sc),
+		experiments.AblationAdaptive(sc),
+		experiments.AblationBins(20, 20000, seed),
+		experiments.AblationEpoch(sc),
+		experiments.AblationOverlay(50, seed),
+		experiments.AblationMoments(sc),
+		experiments.AblationExtremes(sc),
+		experiments.AblationGridCutoff(28, seed),
+		experiments.AblationBandwidth(2000, seed),
+		experiments.AblationMobility(sc),
+	} {
+		experiments.PrintResult(out, r)
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// printFig6CDFs dumps the per-bit CDFs, one block per network size,
+// matching the paper's three panels.
+func printFig6CDFs(out io.Writer, frs []experiments.Fig6Result) {
+	for _, fr := range frs {
+		fmt.Fprintf(out, "\n# counter CDFs, %d nodes (value: P[counter<=value])\n", fr.Size)
+		for k, cdf := range fr.PerBit {
+			if cdf.Total() == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "bit %-2d", k)
+			for _, p := range cdf.Points() {
+				if p.Value > 12 {
+					break
+				}
+				fmt.Fprintf(out, "\t%s", p.String())
+			}
+			fmt.Fprintln(out)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: dynaggsim <experiment> [-full] [-n N] [-rounds R] [-seed S] [-dataset D]
+                          [-format table|csv|json] [-o FILE]
+experiments: fig6 fig8 fig9 fig10a fig10b fig11avg fig11sum
+             ablation-pushpull ablation-adaptive ablation-bins
+             ablation-epoch ablation-overlay ablation-moments
+             ablation-extremes ablation-gridcutoff ablation-bandwidth
+             ablation-mobility all
+trace tools: trace-gen [-dataset D] [-o FILE]
+             trace-info -in FILE [-contacts]`)
+}

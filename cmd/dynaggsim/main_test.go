@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"no-such-experiment"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunRejectsMissingName(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing experiment name accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"fig8", "-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestTraceGenAndInfo(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	if err := run([]string{"trace-gen", "-dataset", "1", "-o", path}); err != nil {
+		t.Fatalf("trace-gen: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "# devices 9") {
+		t.Errorf("generated trace missing devices header")
+	}
+	infoPath := filepath.Join(dir, "info.txt")
+	if err := run([]string{"trace-info", "-in", path, "-o", infoPath}); err != nil {
+		t.Fatalf("trace-info: %v", err)
+	}
+	info, err := os.ReadFile(infoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(info), "devices:  9") {
+		t.Errorf("trace-info output unexpected:\n%s", info)
+	}
+}
+
+func TestTraceGenRejectsBadDataset(t *testing.T) {
+	if err := run([]string{"trace-gen", "-dataset", "7"}); err == nil {
+		t.Error("bad dataset accepted")
+	}
+}
+
+func TestTraceInfoRequiresInput(t *testing.T) {
+	if err := run([]string{"trace-info"}); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"trace-info", "-in", "/nonexistent/file"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestTraceInfoContacts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "contacts.dat")
+	if err := os.WriteFile(path, []byte("1 2 0 3600\n2 3 1800 7200\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "info.txt")
+	if err := run([]string{"trace-info", "-in", path, "-contacts", "-o", out}); err != nil {
+		t.Fatalf("trace-info -contacts: %v", err)
+	}
+	info, _ := os.ReadFile(out)
+	if !strings.Contains(string(info), "devices:  3") {
+		t.Errorf("contacts info unexpected:\n%s", info)
+	}
+}
+
+func TestOutputFormats(t *testing.T) {
+	dir := t.TempDir()
+	for _, format := range []string{"table", "csv", "json"} {
+		path := filepath.Join(dir, "out."+format)
+		args := []string{"fig8", "-n", "300", "-rounds", "8", "-format", format, "-o", path}
+		if err := run(args); err != nil {
+			t.Fatalf("format %s: %v", format, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Errorf("format %s produced empty output", format)
+		}
+	}
+	if err := run([]string{"fig8", "-n", "300", "-rounds", "8", "-format", "xml"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+// Smoke-run the cheapest experiments end to end through the CLI path.
+// Output goes to stdout; correctness of the numbers is asserted in
+// package experiments — here we only care that the plumbing works.
+func TestRunSmallExperiments(t *testing.T) {
+	cases := [][]string{
+		{"fig8", "-n", "400", "-rounds", "15"},
+		{"fig10a", "-n", "400", "-rounds", "15"},
+		{"ablation-pushpull", "-n", "400", "-rounds", "15"},
+		{"ablation-epoch", "-n", "400", "-rounds", "15"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}

@@ -1,0 +1,344 @@
+// Package core is the public façade of the dynamic in-network
+// aggregation library. It assembles the paper's protocols —
+// Push-Sum-Revert for averages, Count-Sketch-Reset for counts,
+// Invert-Average (or multiple-insertion sketches) for sums — with a
+// gossip engine and environment into a Network handle that
+// applications step and query.
+//
+// A Network maintains, at every host, a running estimate of the
+// aggregate over the hosts currently participating — even as hosts
+// join, move, and fail silently. That is the paper's "dynamic
+// distributed aggregation" contract.
+//
+// Quick start:
+//
+//	e := env.NewUniform(1000)
+//	values := make([]float64, 1000) // one data value per host
+//	net, err := core.NewAverage(core.AverageConfig{
+//	    Common: core.Common{Env: e, Seed: 1},
+//	    Values: values,
+//	    Lambda: 0.01,
+//	})
+//	net.Run(30)
+//	est, _ := net.EstimateOf(0) // ≈ mean(values), maintained live
+package core
+
+import (
+	"fmt"
+
+	"dynagg/internal/env"
+	"dynagg/internal/gossip"
+	"dynagg/internal/protocol/invertavg"
+	"dynagg/internal/protocol/pushsum"
+	"dynagg/internal/protocol/pushsumrevert"
+	"dynagg/internal/protocol/sketchcount"
+	"dynagg/internal/protocol/sketchreset"
+	"dynagg/internal/sketch"
+	"dynagg/internal/xrand"
+)
+
+func newSeeded(seed uint64) *xrand.Rand { return xrand.New(seed) }
+
+// Common carries the configuration shared by all aggregate kinds.
+type Common struct {
+	// Env is the gossip environment. Required.
+	Env gossip.Environment
+	// Seed drives all protocol randomness; equal seeds reproduce runs
+	// exactly.
+	Seed uint64
+	// Model selects push or push/pull gossip. The default is
+	// push/pull, the variant the paper's large-network figures use.
+	Model gossip.Model
+	// BeforeRound and AfterRound hooks observe or perturb the run
+	// (failure injection, metrics).
+	BeforeRound []gossip.Hook
+	AfterRound  []gossip.Hook
+}
+
+func (c Common) validate() error {
+	if c.Env == nil {
+		return fmt.Errorf("core: Env is required")
+	}
+	return nil
+}
+
+// AverageConfig configures a dynamic averaging network
+// (Push-Sum-Revert, §III).
+type AverageConfig struct {
+	Common
+	// Values holds one data value per host; len must equal Env.Size().
+	Values []float64
+	// Weights optionally holds one positive weight per host; the
+	// network then maintains the weighted average Σwᵢvᵢ/Σwᵢ. Nil means
+	// uniform weights.
+	Weights []float64
+	// Lambda is the reversion constant λ; 0 degenerates to static
+	// Push-Sum.
+	Lambda float64
+	// FullTransfer enables the §III-A optimization (push model only).
+	FullTransfer bool
+	// Parcels and Window parametrize Full-Transfer; zero values take
+	// the paper's 4 and 3.
+	Parcels int
+	Window  int
+	// Adaptive enables indegree-scaled reversion (push model only).
+	Adaptive bool
+}
+
+// CountConfig configures a dynamic counting network
+// (Count-Sketch-Reset, §IV).
+type CountConfig struct {
+	Common
+	// Sketch sizes the counting sketch; the zero value takes the
+	// paper's 64 bins × 24 levels.
+	Sketch sketch.Params
+	// IdentifiersPerHost inflates each host's contribution by a
+	// constant (the paper uses 100 on small trace networks); the
+	// estimate is scaled back automatically. Zero means 1.
+	IdentifiersPerHost int
+	// Cutoff overrides the bit-age cutoff f(k); nil takes the paper's
+	// 7 + k/4.
+	Cutoff func(k int) float64
+	// NoDecay disables aging: static Sketch-Count behaviour.
+	NoDecay bool
+}
+
+// SumConfig configures a dynamic summation network.
+type SumConfig struct {
+	Common
+	// Values holds one non-negative data value per host.
+	Values []float64
+	// Method selects the summation strategy.
+	Method SumMethod
+	// Lambda is the reversion constant for the Invert-Average method.
+	Lambda float64
+	// Sketch sizes the sketch; zero takes the default.
+	Sketch sketch.Params
+	// Cutoff overrides f(k) for sketch-based methods.
+	Cutoff func(k int) float64
+}
+
+// SumMethod selects how sums are computed.
+type SumMethod int
+
+const (
+	// InvertAverage runs Count-Sketch-Reset × Push-Sum-Revert (§IV-B):
+	// cheap, self-healing, with multiplied error.
+	InvertAverage SumMethod = iota
+	// MultipleInsertions registers value-many identifiers in a
+	// Count-Sketch-Reset sketch: more bandwidth, single error source.
+	MultipleInsertions
+	// StaticSketch uses Considine et al.'s static protocol (no decay,
+	// baseline only).
+	StaticSketch
+)
+
+// Network is a running aggregation overlay: one protocol agent per
+// host driven by a gossip engine.
+type Network struct {
+	engine *gossip.Engine
+	kind   string
+}
+
+// NewAverage builds a dynamic averaging network.
+func NewAverage(cfg AverageConfig) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Env.Size()
+	if len(cfg.Values) != n {
+		return nil, fmt.Errorf("core: %d values for %d hosts", len(cfg.Values), n)
+	}
+	if cfg.Weights != nil && len(cfg.Weights) != n {
+		return nil, fmt.Errorf("core: %d weights for %d hosts", len(cfg.Weights), n)
+	}
+	pcfg := pushsumrevert.Config{
+		Lambda:       cfg.Lambda,
+		FullTransfer: cfg.FullTransfer,
+		Parcels:      cfg.Parcels,
+		Window:       cfg.Window,
+		Adaptive:     cfg.Adaptive,
+		PushPull:     cfg.Model == gossip.PushPull,
+	}
+	if pcfg.FullTransfer {
+		if pcfg.Parcels == 0 {
+			pcfg.Parcels = 4
+		}
+		if pcfg.Window == 0 {
+			pcfg.Window = 3
+		}
+	}
+	if err := pcfg.Validate(); err != nil {
+		return nil, err
+	}
+	agents := make([]gossip.Agent, n)
+	for i := 0; i < n; i++ {
+		hostCfg := pcfg
+		if cfg.Weights != nil {
+			if cfg.Weights[i] <= 0 {
+				return nil, fmt.Errorf("core: non-positive weight %v at host %d", cfg.Weights[i], i)
+			}
+			hostCfg.Weight = cfg.Weights[i]
+		}
+		agents[i] = pushsumrevert.New(gossip.NodeID(i), cfg.Values[i], hostCfg)
+	}
+	kind := "average"
+	if cfg.Weights != nil {
+		kind = "weighted average"
+	}
+	return assemble(cfg.Common, agents, kind)
+}
+
+// NewCount builds a dynamic counting network.
+func NewCount(cfg CountConfig) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Sketch == (sketch.Params{}) {
+		cfg.Sketch = sketch.DefaultParams
+	}
+	ids := cfg.IdentifiersPerHost
+	if ids == 0 {
+		ids = 1
+	}
+	n := cfg.Env.Size()
+	agents := make([]gossip.Agent, n)
+	for i := 0; i < n; i++ {
+		agents[i] = sketchreset.New(gossip.NodeID(i), sketchreset.Config{
+			Params:      cfg.Sketch,
+			Cutoff:      cfg.Cutoff,
+			Identifiers: ids,
+			Scale:       float64(ids),
+			NoDecay:     cfg.NoDecay,
+		})
+	}
+	return assemble(cfg.Common, agents, "count")
+}
+
+// NewSum builds a dynamic summation network.
+func NewSum(cfg SumConfig) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Env.Size()
+	if len(cfg.Values) != n {
+		return nil, fmt.Errorf("core: %d values for %d hosts", len(cfg.Values), n)
+	}
+	if cfg.Sketch == (sketch.Params{}) {
+		cfg.Sketch = sketch.DefaultParams
+	}
+	agents := make([]gossip.Agent, n)
+	switch cfg.Method {
+	case InvertAverage:
+		for i := 0; i < n; i++ {
+			agents[i] = invertavg.New(gossip.NodeID(i), cfg.Values[i],
+				sketchreset.Config{Params: cfg.Sketch, Cutoff: cfg.Cutoff, Identifiers: 1},
+				pushsumrevert.Config{Lambda: cfg.Lambda, PushPull: cfg.Model == gossip.PushPull},
+			)
+		}
+	case MultipleInsertions:
+		for i := 0; i < n; i++ {
+			v := int(cfg.Values[i])
+			if v < 0 {
+				return nil, fmt.Errorf("core: negative value %v at host %d not summable by sketch", cfg.Values[i], i)
+			}
+			agents[i] = sketchreset.New(gossip.NodeID(i), sketchreset.Config{
+				Params: cfg.Sketch, Cutoff: cfg.Cutoff, Identifiers: v,
+			})
+		}
+	case StaticSketch:
+		for i := 0; i < n; i++ {
+			v := int(cfg.Values[i])
+			if v < 0 {
+				return nil, fmt.Errorf("core: negative value %v at host %d not summable by sketch", cfg.Values[i], i)
+			}
+			agents[i] = sketchcount.NewSum(gossip.NodeID(i), cfg.Sketch, v)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown SumMethod %d", cfg.Method)
+	}
+	return assemble(cfg.Common, agents, "sum")
+}
+
+// NewPushSumBaseline builds a static Push-Sum averaging network, the
+// λ=0 baseline, for comparisons.
+func NewPushSumBaseline(common Common, values []float64) (*Network, error) {
+	if err := common.validate(); err != nil {
+		return nil, err
+	}
+	n := common.Env.Size()
+	if len(values) != n {
+		return nil, fmt.Errorf("core: %d values for %d hosts", len(values), n)
+	}
+	agents := make([]gossip.Agent, n)
+	for i := 0; i < n; i++ {
+		agents[i] = pushsum.NewAverage(gossip.NodeID(i), values[i])
+	}
+	return assemble(common, agents, "average (static)")
+}
+
+func assemble(common Common, agents []gossip.Agent, kind string) (*Network, error) {
+	engine, err := gossip.NewEngine(gossip.Config{
+		Env:         common.Env,
+		Agents:      agents,
+		Model:       common.Model,
+		Seed:        common.Seed,
+		BeforeRound: common.BeforeRound,
+		AfterRound:  common.AfterRound,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Network{engine: engine, kind: kind}, nil
+}
+
+// Kind returns a human-readable description of the aggregate.
+func (n *Network) Kind() string { return n.kind }
+
+// Step runs one gossip round.
+func (n *Network) Step() { n.engine.Step() }
+
+// Run runs the given number of gossip rounds.
+func (n *Network) Run(rounds int) { n.engine.Run(rounds) }
+
+// Round returns the number of completed rounds.
+func (n *Network) Round() int { return n.engine.Round() }
+
+// Messages returns the cumulative protocol message count.
+func (n *Network) Messages() int64 { return n.engine.Messages() }
+
+// Estimates returns the live hosts' current estimates.
+func (n *Network) Estimates() []float64 { return n.engine.Estimates() }
+
+// EstimateOf returns host id's estimate; ok is false for dead hosts or
+// before an estimate exists.
+func (n *Network) EstimateOf(id gossip.NodeID) (float64, bool) {
+	return n.engine.EstimateOf(id)
+}
+
+// Engine exposes the underlying engine for metrics hooks and tests.
+func (n *Network) Engine() *gossip.Engine { return n.engine }
+
+// UniformValues is a convenience generating the paper's standard
+// workload: n values uniform in [0, 100).
+func UniformValues(n int, seed uint64) []float64 {
+	rng := newSeeded(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64() * 100
+	}
+	return out
+}
+
+// Ones returns n values of 1.0 (the Figure 9 counting workload).
+func Ones(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// NewUniformEnv re-exports the uniform environment so example programs
+// can depend on package core alone.
+func NewUniformEnv(n int) *env.Uniform { return env.NewUniform(n) }

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dynagg/internal/env"
+	"dynagg/internal/gossip"
+	"dynagg/internal/metrics"
+	"dynagg/internal/sketch"
+)
+
+func TestValidationErrors(t *testing.T) {
+	values := []float64{1, 2, 3}
+	if _, err := NewAverage(AverageConfig{Values: values}); err == nil {
+		t.Error("nil Env accepted")
+	}
+	e := env.NewUniform(4)
+	if _, err := NewAverage(AverageConfig{
+		Common: Common{Env: e}, Values: values,
+	}); err == nil {
+		t.Error("value/size mismatch accepted")
+	}
+	if _, err := NewAverage(AverageConfig{
+		Common: Common{Env: e}, Values: make([]float64, 4), Lambda: 3,
+	}); err == nil {
+		t.Error("invalid lambda accepted")
+	}
+	if _, err := NewSum(SumConfig{
+		Common: Common{Env: e}, Values: make([]float64, 3),
+	}); err == nil {
+		t.Error("sum value/size mismatch accepted")
+	}
+	if _, err := NewSum(SumConfig{
+		Common: Common{Env: e}, Values: []float64{1, 2, 3, -4}, Method: MultipleInsertions,
+	}); err == nil {
+		t.Error("negative value accepted by sketch summation")
+	}
+	if _, err := NewSum(SumConfig{
+		Common: Common{Env: e}, Values: make([]float64, 4), Method: SumMethod(99),
+	}); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if _, err := NewPushSumBaseline(Common{Env: e}, values); err == nil {
+		t.Error("baseline value/size mismatch accepted")
+	}
+	if _, err := NewPushSumBaseline(Common{}, values); err == nil {
+		t.Error("baseline nil Env accepted")
+	}
+}
+
+func TestAverageNetworkConverges(t *testing.T) {
+	const n = 500
+	e := env.NewUniform(n)
+	values := UniformValues(n, 3)
+	net, err := NewAverage(AverageConfig{
+		Common: Common{Env: e, Seed: 1, Model: gossip.PushPull},
+		Values: values,
+		Lambda: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := metrics.NewTruth(values, e.Population)
+	net.Run(30)
+	if net.Round() != 30 {
+		t.Errorf("Round = %d", net.Round())
+	}
+	if net.Kind() != "average" {
+		t.Errorf("Kind = %q", net.Kind())
+	}
+	est, ok := net.EstimateOf(0)
+	if !ok {
+		t.Fatal("no estimate at host 0")
+	}
+	if math.Abs(est-truth.Average()) > 5 {
+		t.Errorf("estimate %v, truth %v", est, truth.Average())
+	}
+	if len(net.Estimates()) != n {
+		t.Errorf("Estimates count %d", len(net.Estimates()))
+	}
+	if net.Messages() == 0 {
+		t.Error("no messages counted")
+	}
+	if net.Engine() == nil {
+		t.Error("Engine accessor nil")
+	}
+}
+
+func TestAverageFullTransferDefaults(t *testing.T) {
+	const n = 300
+	e := env.NewUniform(n)
+	values := UniformValues(n, 5)
+	net, err := NewAverage(AverageConfig{
+		Common:       Common{Env: e, Seed: 2, Model: gossip.Push},
+		Values:       values,
+		Lambda:       0.1,
+		FullTransfer: true, // Parcels and Window default to the paper's 4 and 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(30)
+	truth := metrics.NewTruth(values, e.Population)
+	var mean float64
+	ests := net.Estimates()
+	for _, v := range ests {
+		mean += v
+	}
+	mean /= float64(len(ests))
+	if math.Abs(mean-truth.Average()) > 8 {
+		t.Errorf("full-transfer mean estimate %v, truth %v", mean, truth.Average())
+	}
+}
+
+func TestWeightedAverageNetwork(t *testing.T) {
+	const n = 400
+	e := env.NewUniform(n)
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	var num, den float64
+	for i := range values {
+		values[i] = float64(i % 50)
+		weights[i] = 1 + float64(i%3)
+		num += weights[i] * values[i]
+		den += weights[i]
+	}
+	net, err := NewAverage(AverageConfig{
+		Common:  Common{Env: e, Seed: 11, Model: gossip.PushPull},
+		Values:  values,
+		Weights: weights,
+		Lambda:  0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(30)
+	if net.Kind() != "weighted average" {
+		t.Errorf("Kind = %q", net.Kind())
+	}
+	want := num / den
+	est, _ := net.EstimateOf(0)
+	if math.Abs(est-want) > 2 {
+		t.Errorf("weighted estimate %v, want ≈ %v", est, want)
+	}
+}
+
+func TestWeightedAverageValidation(t *testing.T) {
+	e := env.NewUniform(3)
+	if _, err := NewAverage(AverageConfig{
+		Common: Common{Env: e}, Values: make([]float64, 3), Weights: make([]float64, 2),
+	}); err == nil {
+		t.Error("weight/size mismatch accepted")
+	}
+	if _, err := NewAverage(AverageConfig{
+		Common: Common{Env: e}, Values: make([]float64, 3), Weights: []float64{1, 0, 1},
+	}); err == nil {
+		t.Error("zero weight accepted")
+	}
+}
+
+func TestCountNetwork(t *testing.T) {
+	const n = 1000
+	e := env.NewUniform(n)
+	net, err := NewCount(CountConfig{
+		Common: Common{Env: e, Seed: 3, Model: gossip.PushPull},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(25)
+	est, ok := net.EstimateOf(0)
+	if !ok {
+		t.Fatal("no count estimate")
+	}
+	if math.Abs(est-n) > 0.35*n {
+		t.Errorf("count estimate %v, want ≈ %d", est, n)
+	}
+	if net.Kind() != "count" {
+		t.Errorf("Kind = %q", net.Kind())
+	}
+}
+
+func TestCountNetworkSelfHeals(t *testing.T) {
+	const n = 1000
+	e := env.NewUniform(n)
+	net, err := NewCount(CountConfig{
+		Common: Common{Env: e, Seed: 4, Model: gossip.PushPull},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(20)
+	for i := 0; i < n/2; i++ {
+		e.Population.Fail(gossip.NodeID(i))
+	}
+	net.Run(25)
+	var mean float64
+	ests := net.Estimates()
+	for _, v := range ests {
+		mean += v
+	}
+	mean /= float64(len(ests))
+	if math.Abs(mean-n/2) > 0.45*n/2 {
+		t.Errorf("post-failure count %v, want ≈ %d", mean, n/2)
+	}
+}
+
+func TestSumNetworkAllMethods(t *testing.T) {
+	const n = 500
+	values := make([]float64, n)
+	var want float64
+	for i := range values {
+		values[i] = float64(i % 7)
+		want += values[i]
+	}
+	for _, m := range []SumMethod{InvertAverage, MultipleInsertions, StaticSketch} {
+		e := env.NewUniform(n)
+		net, err := NewSum(SumConfig{
+			Common: Common{Env: e, Seed: 5, Model: gossip.PushPull},
+			Values: values,
+			Method: m,
+			Lambda: 0.01,
+		})
+		if err != nil {
+			t.Fatalf("method %d: %v", m, err)
+		}
+		net.Run(25)
+		est, ok := net.EstimateOf(10)
+		if !ok {
+			t.Fatalf("method %d: no estimate", m)
+		}
+		if math.Abs(est-want) > 0.5*want {
+			t.Errorf("method %d: estimate %v, want %v ± 50%%", m, est, want)
+		}
+	}
+}
+
+func TestPushSumBaseline(t *testing.T) {
+	const n = 300
+	e := env.NewUniform(n)
+	values := UniformValues(n, 6)
+	net, err := NewPushSumBaseline(Common{Env: e, Seed: 7, Model: gossip.PushPull}, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(25)
+	truth := metrics.NewTruth(values, e.Population)
+	est, _ := net.EstimateOf(0)
+	if math.Abs(est-truth.Average()) > 1 {
+		t.Errorf("baseline estimate %v, truth %v", est, truth.Average())
+	}
+}
+
+func TestCountCustomSketchAndCutoff(t *testing.T) {
+	const n = 200
+	e := env.NewUniform(n)
+	net, err := NewCount(CountConfig{
+		Common: Common{Env: e, Seed: 8, Model: gossip.PushPull},
+		Sketch: sketch.Params{Bins: 32, Levels: 16},
+		Cutoff: func(k int) float64 { return 12 + float64(k)/2 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(20)
+	est, ok := net.EstimateOf(0)
+	if !ok || est <= 0 {
+		t.Errorf("estimate = %v, %v", est, ok)
+	}
+}
+
+func TestUniformValuesRange(t *testing.T) {
+	values := UniformValues(1000, 1)
+	if len(values) != 1000 {
+		t.Fatalf("len = %d", len(values))
+	}
+	var sum float64
+	for _, v := range values {
+		if v < 0 || v >= 100 {
+			t.Fatalf("value %v outside [0,100)", v)
+		}
+		sum += v
+	}
+	mean := sum / 1000
+	if mean < 45 || mean > 55 {
+		t.Errorf("mean %v implausible for U[0,100)", mean)
+	}
+	again := UniformValues(1000, 1)
+	for i := range again {
+		if again[i] != values[i] {
+			t.Fatal("UniformValues not deterministic per seed")
+		}
+	}
+}
+
+func TestOnes(t *testing.T) {
+	ones := Ones(5)
+	for _, v := range ones {
+		if v != 1 {
+			t.Fatalf("Ones = %v", ones)
+		}
+	}
+}
+
+func TestNewUniformEnv(t *testing.T) {
+	e := NewUniformEnv(10)
+	if e.Size() != 10 {
+		t.Errorf("Size = %d", e.Size())
+	}
+}
+
+func TestEstimateOfDeadHost(t *testing.T) {
+	e := env.NewUniform(5)
+	net, err := NewAverage(AverageConfig{
+		Common: Common{Env: e, Seed: 9, Model: gossip.PushPull},
+		Values: make([]float64, 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Population.Fail(2)
+	if _, ok := net.EstimateOf(2); ok {
+		t.Error("dead host returned an estimate")
+	}
+	if got := len(net.Estimates()); got != 4 {
+		t.Errorf("Estimates over 4 live hosts returned %d", got)
+	}
+}
+
+func TestHooksArePlumbed(t *testing.T) {
+	e := env.NewUniform(10)
+	var before, after int
+	net, err := NewAverage(AverageConfig{
+		Common: Common{
+			Env: e, Seed: 10, Model: gossip.PushPull,
+			BeforeRound: []gossip.Hook{func(int, *gossip.Engine) { before++ }},
+			AfterRound:  []gossip.Hook{func(int, *gossip.Engine) { after++ }},
+		},
+		Values: make([]float64, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(7)
+	if before != 7 || after != 7 {
+		t.Errorf("hooks ran before=%d after=%d, want 7 each", before, after)
+	}
+}

@@ -1,0 +1,100 @@
+package core_test
+
+import (
+	"fmt"
+
+	"dynagg/internal/core"
+	"dynagg/internal/env"
+	"dynagg/internal/gossip"
+	"dynagg/internal/protocol/extremes"
+)
+
+// A dynamic average survives a silent departure: after the failure the
+// estimate re-converges to the survivors' average.
+func ExampleNewAverage() {
+	e := env.NewUniform(400)
+	values := make([]float64, 400)
+	for i := range values {
+		values[i] = float64(i % 100) // average 49.5
+	}
+	net, err := core.NewAverage(core.AverageConfig{
+		Common: core.Common{Env: e, Seed: 1, Model: gossip.PushPull},
+		Values: values,
+		Lambda: 0.1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	net.Run(30)
+	// Probe a host whose own value sits near the average: λ biases
+	// each estimate toward the local initial value (§III-A).
+	before, _ := net.EstimateOf(50)
+	fmt.Printf("converged near 49.5: %t\n", before > 45 && before < 55)
+
+	// The highest-valued quarter departs silently; the true average of
+	// the survivors drops.
+	for i, v := range values {
+		if v >= 75 {
+			e.Population.Fail(gossip.NodeID(i))
+		}
+	}
+	net.Run(60)
+	after, _ := net.EstimateOf(50)
+	fmt.Printf("re-converged near 37: %t\n", after > 32 && after < 42)
+	// Output:
+	// converged near 49.5: true
+	// re-converged near 37: true
+}
+
+// A dynamic count decays back after half the network leaves.
+func ExampleNewCount() {
+	e := env.NewUniform(1000)
+	net, err := core.NewCount(core.CountConfig{
+		Common: core.Common{Env: e, Seed: 2, Model: gossip.PushPull},
+	})
+	if err != nil {
+		panic(err)
+	}
+	net.Run(20)
+	before, _ := net.EstimateOf(0)
+	fmt.Printf("counted roughly 1000: %t\n", before > 650 && before < 1350)
+
+	for i := 0; i < 500; i++ {
+		e.Population.Fail(gossip.NodeID(i))
+	}
+	net.Run(30)
+	after, _ := net.EstimateOf(999)
+	fmt.Printf("decayed toward 500: %t\n", after > 300 && after < 700)
+	// Output:
+	// counted roughly 1000: true
+	// decayed toward 500: true
+}
+
+// A dynamic maximum falls back to the runner-up when its owner leaves.
+func ExampleNewExtremum() {
+	e := env.NewUniform(300)
+	values := make([]float64, 300)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	net, err := core.NewExtremum(core.ExtremumConfig{
+		Common: core.Common{Env: e, Seed: 3, Model: gossip.PushPull},
+		Values: values,
+		Mode:   extremes.Max,
+		Cutoff: 12,
+	})
+	if err != nil {
+		panic(err)
+	}
+	net.Run(15)
+	max1, _ := net.EstimateOf(0)
+	fmt.Println("max:", max1)
+
+	e.Population.Fail(299) // the maximum's owner departs
+	net.Run(40)
+	max2, _ := net.EstimateOf(0)
+	fmt.Println("max after departure:", max2)
+	// Output:
+	// max: 299
+	// max after departure: 298
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"dynagg/internal/gossip"
+	"dynagg/internal/protocol/extremes"
+	"dynagg/internal/protocol/moments"
+	"dynagg/internal/protocol/multi"
+	"dynagg/internal/protocol/pushsumrevert"
+	"dynagg/internal/protocol/sketchreset"
+	"dynagg/internal/sketch"
+)
+
+// StdDevConfig configures a dynamic standard-deviation network
+// (package moments: Push-Sum-Revert lifted to the second moment).
+type StdDevConfig struct {
+	Common
+	// Values holds one data value per host.
+	Values []float64
+	// Lambda is the reversion constant λ; 0 degenerates to the static
+	// protocol.
+	Lambda float64
+}
+
+// NewStdDev builds a network maintaining a running estimate of the
+// standard deviation over the live hosts' values. The per-host
+// estimate is the standard deviation; Mean and Variance are available
+// through the underlying moments.Node (via Engine().Agent).
+func NewStdDev(cfg StdDevConfig) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Env.Size()
+	if len(cfg.Values) != n {
+		return nil, fmt.Errorf("core: %d values for %d hosts", len(cfg.Values), n)
+	}
+	if cfg.Lambda < 0 || cfg.Lambda > 1 {
+		return nil, fmt.Errorf("core: Lambda %v outside [0,1]", cfg.Lambda)
+	}
+	mcfg := moments.Config{Lambda: cfg.Lambda, PushPull: cfg.Model == gossip.PushPull}
+	agents := make([]gossip.Agent, n)
+	for i := 0; i < n; i++ {
+		agents[i] = moments.New(gossip.NodeID(i), cfg.Values[i], mcfg)
+	}
+	return assemble(cfg.Common, agents, "stddev")
+}
+
+// ExtremumConfig configures a dynamic min/max network (package
+// extremes: candidate age-out in the style of Count-Sketch-Reset).
+type ExtremumConfig struct {
+	Common
+	// Values holds one data value per host.
+	Values []float64
+	// Mode selects Min or Max aggregation.
+	Mode extremes.Mode
+	// Cutoff is the candidate age limit; zero takes the package
+	// default, sized for uniform gossip. Slow environments (grids,
+	// sparse traces) need larger cutoffs, as with the counting sketch.
+	Cutoff int
+	// TableSize is the per-host candidate table size; zero takes the
+	// default.
+	TableSize int
+}
+
+// MultiConfig configures a multi-aggregate network: one shared
+// Count-Sketch-Reset instance amortized over any number of named
+// Push-Sum-Revert aggregates (the paper's Figure 7 in full).
+type MultiConfig struct {
+	Common
+	// Values maps aggregate names to the per-host data values;
+	// Values[name][i] is host i's value for that aggregate. Every
+	// aggregate must cover all hosts.
+	Values map[string][]float64
+	// Lambda is the shared reversion constant.
+	Lambda float64
+	// Sketch sizes the shared counting sketch; zero takes the default.
+	Sketch sketch.Params
+	// Cutoff overrides the bit-age cutoff f(k); nil takes 7 + k/4.
+	Cutoff func(k int) float64
+}
+
+// MultiNetwork is a running multi-aggregate overlay. In addition to
+// the Network surface (whose Estimate is the network-size estimate),
+// it exposes per-aggregate running averages and sums.
+type MultiNetwork struct {
+	Network
+}
+
+// NewMulti builds a multi-aggregate network.
+func NewMulti(cfg MultiConfig) (*MultiNetwork, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Values) == 0 {
+		return nil, fmt.Errorf("core: NewMulti needs at least one named aggregate")
+	}
+	n := cfg.Env.Size()
+	for name, vs := range cfg.Values {
+		if len(vs) != n {
+			return nil, fmt.Errorf("core: aggregate %q has %d values for %d hosts", name, len(vs), n)
+		}
+	}
+	if cfg.Sketch == (sketch.Params{}) {
+		cfg.Sketch = sketch.DefaultParams
+	}
+	pcfg := pushsumrevert.Config{Lambda: cfg.Lambda, PushPull: cfg.Model == gossip.PushPull}
+	if err := pcfg.Validate(); err != nil {
+		return nil, err
+	}
+	agents := make([]gossip.Agent, n)
+	for i := 0; i < n; i++ {
+		values := make(map[string]float64, len(cfg.Values))
+		for name, vs := range cfg.Values {
+			values[name] = vs[i]
+		}
+		agents[i] = multi.New(gossip.NodeID(i), values,
+			sketchreset.Config{Params: cfg.Sketch, Cutoff: cfg.Cutoff, Identifiers: 1},
+			pcfg,
+		)
+	}
+	net, err := assemble(cfg.Common, agents, "multi")
+	if err != nil {
+		return nil, err
+	}
+	return &MultiNetwork{Network: *net}, nil
+}
+
+// AverageOf returns host id's running average estimate for one named
+// aggregate; ok is false for dead hosts or unknown names.
+func (m *MultiNetwork) AverageOf(id gossip.NodeID, name string) (float64, bool) {
+	if !m.engine.Env().Alive(id, m.engine.Round()) {
+		return 0, false
+	}
+	return m.engine.Agent(id).(*multi.Node).Average(name)
+}
+
+// SumOf returns host id's running sum estimate for one named
+// aggregate.
+func (m *MultiNetwork) SumOf(id gossip.NodeID, name string) (float64, bool) {
+	if !m.engine.Env().Alive(id, m.engine.Round()) {
+		return 0, false
+	}
+	return m.engine.Agent(id).(*multi.Node).Sum(name)
+}
+
+// SizeOf returns host id's running network-size estimate.
+func (m *MultiNetwork) SizeOf(id gossip.NodeID) (float64, bool) {
+	return m.EstimateOf(id)
+}
+
+// NewExtremum builds a network maintaining a running estimate of the
+// minimum or maximum value over the live hosts.
+func NewExtremum(cfg ExtremumConfig) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Env.Size()
+	if len(cfg.Values) != n {
+		return nil, fmt.Errorf("core: %d values for %d hosts", len(cfg.Values), n)
+	}
+	ecfg := extremes.Config{Mode: cfg.Mode, Cutoff: cfg.Cutoff, TableSize: cfg.TableSize}
+	if err := ecfg.Validate(); err != nil {
+		return nil, err
+	}
+	agents := make([]gossip.Agent, n)
+	for i := 0; i < n; i++ {
+		agents[i] = extremes.New(gossip.NodeID(i), cfg.Values[i], ecfg)
+	}
+	return assemble(cfg.Common, agents, cfg.Mode.String())
+}

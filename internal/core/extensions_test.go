@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dynagg/internal/env"
+	"dynagg/internal/gossip"
+	"dynagg/internal/protocol/extremes"
+	"dynagg/internal/protocol/moments"
+)
+
+func TestStdDevValidation(t *testing.T) {
+	e := env.NewUniform(3)
+	if _, err := NewStdDev(StdDevConfig{Values: make([]float64, 3)}); err == nil {
+		t.Error("nil env accepted")
+	}
+	if _, err := NewStdDev(StdDevConfig{Common: Common{Env: e}, Values: make([]float64, 2)}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := NewStdDev(StdDevConfig{Common: Common{Env: e}, Values: make([]float64, 3), Lambda: -1}); err == nil {
+		t.Error("bad lambda accepted")
+	}
+}
+
+func TestStdDevConverges(t *testing.T) {
+	const n = 500
+	e := env.NewUniform(n)
+	values := make([]float64, n)
+	var sum, sq float64
+	for i := range values {
+		values[i] = float64(i % 100)
+		sum += values[i]
+		sq += values[i] * values[i]
+	}
+	mean := sum / n
+	want := math.Sqrt(sq/n - mean*mean)
+
+	net, err := NewStdDev(StdDevConfig{
+		Common: Common{Env: e, Seed: 1, Model: gossip.PushPull},
+		Values: values,
+		Lambda: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(40)
+	if net.Kind() != "stddev" {
+		t.Errorf("Kind = %q", net.Kind())
+	}
+	est, ok := net.EstimateOf(0)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if math.Abs(est-want) > 0.1*want {
+		t.Errorf("stddev estimate %v, want ≈ %v", est, want)
+	}
+	// The richer API is reachable through the engine.
+	node := net.Engine().Agent(0).(*moments.Node)
+	if m, _ := node.Mean(); math.Abs(m-mean) > 0.1*mean {
+		t.Errorf("mean via node %v, want ≈ %v", m, mean)
+	}
+}
+
+func TestExtremumValidation(t *testing.T) {
+	e := env.NewUniform(3)
+	if _, err := NewExtremum(ExtremumConfig{Values: make([]float64, 3)}); err == nil {
+		t.Error("nil env accepted")
+	}
+	if _, err := NewExtremum(ExtremumConfig{Common: Common{Env: e}, Values: make([]float64, 2)}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := NewExtremum(ExtremumConfig{
+		Common: Common{Env: e}, Values: make([]float64, 3), Cutoff: -2,
+	}); err == nil {
+		t.Error("bad cutoff accepted")
+	}
+}
+
+func TestExtremumMaxSelfHeals(t *testing.T) {
+	const n = 300
+	e := env.NewUniform(n)
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	net, err := NewExtremum(ExtremumConfig{
+		Common: Common{Env: e, Seed: 2, Model: gossip.PushPull},
+		Values: values,
+		Mode:   extremes.Max,
+		Cutoff: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(15)
+	if est, _ := net.EstimateOf(0); est != n-1 {
+		t.Fatalf("max estimate %v, want %d", est, n-1)
+	}
+	if net.Kind() != "max" {
+		t.Errorf("Kind = %q", net.Kind())
+	}
+	e.Population.Fail(gossip.NodeID(n - 1))
+	net.Run(40)
+	if est, _ := net.EstimateOf(0); est != n-2 {
+		t.Errorf("max after departure %v, want %d", est, n-2)
+	}
+}
+
+func TestMultiValidation(t *testing.T) {
+	e := env.NewUniform(3)
+	if _, err := NewMulti(MultiConfig{Values: map[string][]float64{"a": make([]float64, 3)}}); err == nil {
+		t.Error("nil env accepted")
+	}
+	if _, err := NewMulti(MultiConfig{Common: Common{Env: e}}); err == nil {
+		t.Error("no aggregates accepted")
+	}
+	if _, err := NewMulti(MultiConfig{
+		Common: Common{Env: e},
+		Values: map[string][]float64{"a": make([]float64, 2)},
+	}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := NewMulti(MultiConfig{
+		Common: Common{Env: e},
+		Values: map[string][]float64{"a": make([]float64, 3)},
+		Lambda: 2,
+	}); err == nil {
+		t.Error("bad lambda accepted")
+	}
+}
+
+func TestMultiNetworkEndToEnd(t *testing.T) {
+	const n = 600
+	e := env.NewUniform(n)
+	temp := make([]float64, n)
+	load := make([]float64, n)
+	for i := 0; i < n; i++ {
+		temp[i] = float64(i % 40)
+		load[i] = float64(i % 10)
+	}
+	net, err := NewMulti(MultiConfig{
+		Common: Common{Env: e, Seed: 4, Model: gossip.PushPull},
+		Values: map[string][]float64{"temp": temp, "load": load},
+		Lambda: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(25)
+	if net.Kind() != "multi" {
+		t.Errorf("Kind = %q", net.Kind())
+	}
+	if avg, ok := net.AverageOf(0, "temp"); !ok || math.Abs(avg-19.5) > 2 {
+		t.Errorf("temp average %v, %v", avg, ok)
+	}
+	if avg, ok := net.AverageOf(0, "load"); !ok || math.Abs(avg-4.5) > 1 {
+		t.Errorf("load average %v, %v", avg, ok)
+	}
+	if size, ok := net.SizeOf(0); !ok || math.Abs(size-n) > 0.35*n {
+		t.Errorf("size %v, %v", size, ok)
+	}
+	wantSum := 4.5 * n
+	if sum, ok := net.SumOf(0, "load"); !ok || math.Abs(sum-wantSum) > 0.4*wantSum {
+		t.Errorf("load sum %v, %v; want ≈ %v", sum, ok, wantSum)
+	}
+	if _, ok := net.AverageOf(0, "nope"); ok {
+		t.Error("unknown aggregate accepted")
+	}
+	e.Population.Fail(0)
+	if _, ok := net.AverageOf(0, "temp"); ok {
+		t.Error("dead host returned an estimate")
+	}
+	if _, ok := net.SumOf(0, "temp"); ok {
+		t.Error("dead host returned a sum")
+	}
+}
+
+func TestExtremumMin(t *testing.T) {
+	const n = 200
+	e := env.NewUniform(n)
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(100 + i)
+	}
+	net, err := NewExtremum(ExtremumConfig{
+		Common: Common{Env: e, Seed: 3, Model: gossip.PushPull},
+		Values: values,
+		Mode:   extremes.Min,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(15)
+	if est, _ := net.EstimateOf(5); est != 100 {
+		t.Errorf("min estimate %v, want 100", est)
+	}
+}

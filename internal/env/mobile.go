@@ -1,0 +1,202 @@
+package env
+
+import (
+	"fmt"
+	"math"
+
+	"dynagg/internal/gossip"
+	"dynagg/internal/xrand"
+)
+
+// Mobile is a random-waypoint mobility environment: hosts move through
+// a rectangular field and can gossip only with hosts currently within
+// radio range. This is the paper's motivating setting — "wireless-
+// enabled mobile devices ... create a highly dynamic environment" —
+// with mobility itself providing the long-distance mixing that §IV's
+// spatial-gossip analysis otherwise gets from multi-hop walks.
+//
+// Each host repeatedly picks a uniform waypoint in the field and a
+// speed, walks there in straight-line steps of speed×Δt per round,
+// then picks the next. Neighbor queries use a uniform grid hash with
+// cell size equal to the radio range, so a round costs O(n + contacts).
+//
+// Mobile is deterministic per seed and implements gossip.Environment.
+type Mobile struct {
+	*Population
+	cfg MobileConfig
+	rng *xrand.Rand
+
+	x, y   []float64
+	wx, wy []float64 // current waypoint
+	speed  []float64
+
+	cells    map[[2]int32][]gossip.NodeID
+	lastMove int // last round whose movement has been applied
+}
+
+// MobileConfig parametrizes the mobility model.
+type MobileConfig struct {
+	// N is the host count.
+	N int
+	// Width and Height are the field dimensions, in meters.
+	Width, Height float64
+	// Range is the radio range, in meters.
+	Range float64
+	// MinSpeed and MaxSpeed bound the per-leg speeds, in meters per
+	// round (speed × Δt pre-multiplied).
+	MinSpeed, MaxSpeed float64
+	// Seed drives waypoint selection.
+	Seed uint64
+}
+
+// Validate reports whether the configuration is usable.
+func (c MobileConfig) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("env: Mobile needs hosts, got %d", c.N)
+	}
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("env: Mobile field %vx%v invalid", c.Width, c.Height)
+	}
+	if c.Range <= 0 {
+		return fmt.Errorf("env: Mobile radio range %v invalid", c.Range)
+	}
+	if c.MinSpeed < 0 || c.MaxSpeed < c.MinSpeed {
+		return fmt.Errorf("env: Mobile speeds [%v, %v] invalid", c.MinSpeed, c.MaxSpeed)
+	}
+	return nil
+}
+
+// NewMobile returns a mobility environment with hosts placed uniformly
+// at random and already heading to their first waypoints.
+func NewMobile(cfg MobileConfig) (*Mobile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Mobile{
+		Population: NewPopulation(cfg.N),
+		cfg:        cfg,
+		rng:        xrand.New(cfg.Seed),
+		x:          make([]float64, cfg.N),
+		y:          make([]float64, cfg.N),
+		wx:         make([]float64, cfg.N),
+		wy:         make([]float64, cfg.N),
+		speed:      make([]float64, cfg.N),
+		cells:      make(map[[2]int32][]gossip.NodeID),
+		lastMove:   -1,
+	}
+	for i := 0; i < cfg.N; i++ {
+		m.x[i] = m.rng.Float64() * cfg.Width
+		m.y[i] = m.rng.Float64() * cfg.Height
+		m.newLeg(i)
+	}
+	m.rebuildIndex()
+	return m, nil
+}
+
+// newLeg assigns host i a fresh waypoint and speed.
+func (m *Mobile) newLeg(i int) {
+	m.wx[i] = m.rng.Float64() * m.cfg.Width
+	m.wy[i] = m.rng.Float64() * m.cfg.Height
+	m.speed[i] = m.cfg.MinSpeed + m.rng.Float64()*(m.cfg.MaxSpeed-m.cfg.MinSpeed)
+}
+
+// Position returns host id's current coordinates.
+func (m *Mobile) Position(id gossip.NodeID) (x, y float64) {
+	return m.x[id], m.y[id]
+}
+
+// Advance implements gossip.Environment: move every host one step and
+// rebuild the neighbor index. Dead hosts keep moving — a departed
+// device does not stop existing, it merely stops participating — so a
+// revived host reappears wherever its carrier has wandered.
+func (m *Mobile) Advance(round int) {
+	if round <= m.lastMove {
+		return
+	}
+	m.lastMove = round
+	for i := 0; i < m.cfg.N; i++ {
+		dx := m.wx[i] - m.x[i]
+		dy := m.wy[i] - m.y[i]
+		dist := math.Hypot(dx, dy)
+		if dist <= m.speed[i] || dist == 0 {
+			m.x[i], m.y[i] = m.wx[i], m.wy[i]
+			m.newLeg(i)
+			continue
+		}
+		m.x[i] += dx / dist * m.speed[i]
+		m.y[i] += dy / dist * m.speed[i]
+	}
+	m.rebuildIndex()
+}
+
+func (m *Mobile) cellOf(x, y float64) [2]int32 {
+	return [2]int32{int32(x / m.cfg.Range), int32(y / m.cfg.Range)}
+}
+
+func (m *Mobile) rebuildIndex() {
+	for k := range m.cells {
+		delete(m.cells, k)
+	}
+	for i := 0; i < m.cfg.N; i++ {
+		c := m.cellOf(m.x[i], m.y[i])
+		m.cells[c] = append(m.cells[c], gossip.NodeID(i))
+	}
+}
+
+// Alive implements gossip.Environment.
+func (m *Mobile) Alive(id gossip.NodeID, round int) bool {
+	return m.Population.Alive(id)
+}
+
+// inRange reports whether hosts a and b are within radio range.
+func (m *Mobile) inRange(a, b gossip.NodeID) bool {
+	dx := m.x[a] - m.x[b]
+	dy := m.y[a] - m.y[b]
+	return dx*dx+dy*dy <= m.cfg.Range*m.cfg.Range
+}
+
+// NeighborsOf returns the live hosts currently within radio range of
+// id, in ascending order of cell scan (deterministic).
+func (m *Mobile) NeighborsOf(id gossip.NodeID) []gossip.NodeID {
+	var out []gossip.NodeID
+	c := m.cellOf(m.x[id], m.y[id])
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			for _, other := range m.cells[[2]int32{c[0] + dx, c[1] + dy}] {
+				if other != id && m.Population.Alive(other) && m.inRange(id, other) {
+					out = append(out, other)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Degree returns the number of live hosts in radio range of id.
+func (m *Mobile) Degree(id gossip.NodeID) int { return len(m.NeighborsOf(id)) }
+
+// Pick implements gossip.Environment: a uniform live host within radio
+// range, or ok=false when the host is isolated.
+func (m *Mobile) Pick(id gossip.NodeID, round int, rng *xrand.Rand) (gossip.NodeID, bool) {
+	nbrs := m.NeighborsOf(id)
+	if len(nbrs) == 0 {
+		return 0, false
+	}
+	return nbrs[rng.Intn(len(nbrs))], true
+}
+
+// MeanDegree returns the average live-neighbor count over live hosts —
+// the density statistic the paper suggests feeding back into protocol
+// parameters ("Push-Sum-Revert may be used to compute average node
+// degree").
+func (m *Mobile) MeanDegree() float64 {
+	ids := m.AliveIDs()
+	if len(ids) == 0 {
+		return 0
+	}
+	var sum int
+	for _, id := range ids {
+		sum += m.Degree(id)
+	}
+	return float64(sum) / float64(len(ids))
+}

@@ -1,0 +1,213 @@
+package env
+
+import (
+	"math"
+	"testing"
+
+	"dynagg/internal/gossip"
+	"dynagg/internal/xrand"
+)
+
+func mobileCfg(n int) MobileConfig {
+	return MobileConfig{
+		N: n, Width: 1000, Height: 1000, Range: 100,
+		MinSpeed: 5, MaxSpeed: 20, Seed: 1,
+	}
+}
+
+func TestMobileConfigValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*MobileConfig)
+	}{
+		{"no hosts", func(c *MobileConfig) { c.N = 0 }},
+		{"zero width", func(c *MobileConfig) { c.Width = 0 }},
+		{"zero height", func(c *MobileConfig) { c.Height = 0 }},
+		{"zero range", func(c *MobileConfig) { c.Range = 0 }},
+		{"negative min speed", func(c *MobileConfig) { c.MinSpeed = -1 }},
+		{"max below min", func(c *MobileConfig) { c.MinSpeed = 10; c.MaxSpeed = 5 }},
+	}
+	for _, c := range cases {
+		cfg := mobileCfg(10)
+		c.mutate(&cfg)
+		if _, err := NewMobile(cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := NewMobile(mobileCfg(10)); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestMobileHostsStayInField(t *testing.T) {
+	m, err := NewMobile(mobileCfg(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 200; r++ {
+		m.Advance(r)
+		for i := 0; i < 50; i++ {
+			x, y := m.Position(gossip.NodeID(i))
+			if x < 0 || x > 1000 || y < 0 || y > 1000 {
+				t.Fatalf("host %d left the field at round %d: (%v, %v)", i, r, x, y)
+			}
+		}
+	}
+}
+
+func TestMobileHostsActuallyMove(t *testing.T) {
+	m, err := NewMobile(mobileCfg(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0, y0 := m.Position(0)
+	for r := 0; r < 50; r++ {
+		m.Advance(r)
+	}
+	x1, y1 := m.Position(0)
+	if math.Hypot(x1-x0, y1-y0) < 1 {
+		t.Errorf("host 0 barely moved in 50 rounds: (%v,%v) -> (%v,%v)", x0, y0, x1, y1)
+	}
+}
+
+func TestMobileSpeedBound(t *testing.T) {
+	m, err := NewMobile(mobileCfg(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevX := append([]float64(nil), m.x...)
+	prevY := append([]float64(nil), m.y...)
+	for r := 0; r < 50; r++ {
+		m.Advance(r)
+		for i := range prevX {
+			d := math.Hypot(m.x[i]-prevX[i], m.y[i]-prevY[i])
+			if d > m.cfg.MaxSpeed+1e-9 {
+				t.Fatalf("host %d moved %v in one round, max speed %v", i, d, m.cfg.MaxSpeed)
+			}
+		}
+		copy(prevX, m.x)
+		copy(prevY, m.y)
+	}
+}
+
+func TestMobileNeighborsSymmetricAndInRange(t *testing.T) {
+	m, err := NewMobile(mobileCfg(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Advance(0)
+	for i := 0; i < 100; i++ {
+		id := gossip.NodeID(i)
+		for _, nb := range m.NeighborsOf(id) {
+			ax, ay := m.Position(id)
+			bx, by := m.Position(nb)
+			if math.Hypot(ax-bx, ay-by) > m.cfg.Range+1e-9 {
+				t.Fatalf("neighbor %d of %d out of range", nb, id)
+			}
+			// Symmetry: id must appear among nb's neighbors.
+			found := false
+			for _, back := range m.NeighborsOf(nb) {
+				if back == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("neighbor relation not symmetric: %d -> %d", id, nb)
+			}
+		}
+	}
+}
+
+func TestMobilePickRespectsRangeAndLiveness(t *testing.T) {
+	m, err := NewMobile(mobileCfg(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Advance(0)
+	rng := xrand.New(2)
+	// Kill half.
+	for i := 0; i < 100; i += 2 {
+		m.Population.Fail(gossip.NodeID(i))
+	}
+	for trial := 0; trial < 200; trial++ {
+		id := gossip.NodeID(1 + 2*(trial%50))
+		peer, ok := m.Pick(id, 0, rng)
+		if !ok {
+			continue // isolated is legal
+		}
+		if peer == id {
+			t.Fatal("picked self")
+		}
+		if !m.Population.Alive(peer) {
+			t.Fatalf("picked dead host %d", peer)
+		}
+		if !m.inRange(id, peer) {
+			t.Fatalf("picked out-of-range host %d", peer)
+		}
+	}
+}
+
+func TestMobileDeterministicPerSeed(t *testing.T) {
+	run := func() []float64 {
+		m, err := NewMobile(mobileCfg(30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 30; r++ {
+			m.Advance(r)
+		}
+		out := make([]float64, 0, 60)
+		for i := 0; i < 30; i++ {
+			x, y := m.Position(gossip.NodeID(i))
+			out = append(out, x, y)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("positions diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMobileAdvanceIdempotentPerRound(t *testing.T) {
+	m, err := NewMobile(mobileCfg(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Advance(5)
+	x0, y0 := m.Position(0)
+	m.Advance(5) // same round again: no double movement
+	m.Advance(3) // going backwards: no movement
+	x1, y1 := m.Position(0)
+	if x0 != x1 || y0 != y1 {
+		t.Error("Advance moved hosts on repeated/backward rounds")
+	}
+}
+
+func TestMobileMeanDegreeScalesWithRange(t *testing.T) {
+	sparse := mobileCfg(200)
+	sparse.Range = 40
+	dense := mobileCfg(200)
+	dense.Range = 200
+	ms, err := NewMobile(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := NewMobile(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms.Advance(0)
+	md.Advance(0)
+	if ms.MeanDegree() >= md.MeanDegree() {
+		t.Errorf("sparse degree %v >= dense degree %v", ms.MeanDegree(), md.MeanDegree())
+	}
+	// Analytic check: mean degree ≈ (n-1)·πR²/area for R ≪ field.
+	want := 199 * math.Pi * 40 * 40 / (1000 * 1000)
+	if got := ms.MeanDegree(); got < want/3 || got > want*3 {
+		t.Errorf("sparse mean degree %v, want ≈ %v", got, want)
+	}
+}

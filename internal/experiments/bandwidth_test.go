@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationBandwidth(t *testing.T) {
+	res := AblationBandwidth(1000, 1)
+	if len(res.Series) != 1 || res.Series[0].Len() != 6 {
+		t.Fatalf("series shape wrong: %+v", res.Series)
+	}
+	y := res.Series[0].Y
+	mass := y[0]      // push-sum-revert
+	sketchRLE := y[4] // count-sketch-reset RLE
+	sketchRaw := y[5] // count-sketch-reset raw
+	if mass != 16 {
+		t.Errorf("mass payload %v bytes, want 16", mass)
+	}
+	// §IV-B: the sketch costs orders of magnitude more than the mass
+	// vector, even after RLE.
+	if sketchRLE < 20*mass {
+		t.Errorf("sketch RLE %v bytes not ≫ mass %v", sketchRLE, mass)
+	}
+	if sketchRLE > sketchRaw {
+		t.Errorf("RLE %v larger than raw %v", sketchRLE, sketchRaw)
+	}
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "ratio") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no ratio note")
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// unionX returns the sorted union of x values across all series.
+func unionX(r Result) []float64 {
+	set := make(map[float64]bool)
+	for _, s := range r.Series {
+		for _, x := range s.X {
+			set[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(set))
+	for x := range set {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// WriteCSV renders the result as CSV: a header row (the x label then
+// one column per series), then one row per x value. Cells where a
+// series has no sample are empty. Notes are not representable in CSV
+// and are omitted; use WriteJSON to keep them.
+func WriteCSV(w io.Writer, r Result) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(r.Series)+1)
+	header = append(header, r.XLabel)
+	for _, s := range r.Series {
+		header = append(header, s.Label)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	idx := make([]map[float64]float64, len(r.Series))
+	for i, s := range r.Series {
+		m := make(map[float64]float64, s.Len())
+		for j := range s.X {
+			m[s.X[j]] = s.Y[j]
+		}
+		idx[i] = m
+	}
+	for _, x := range unionX(r) {
+		row := make([]string, 0, len(r.Series)+1)
+		row = append(row, strconv.FormatFloat(x, 'g', -1, 64))
+		for i := range r.Series {
+			if y, ok := idx[i][x]; ok {
+				row = append(row, strconv.FormatFloat(y, 'g', -1, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonResult is the stable JSON shape for a Result.
+type jsonResult struct {
+	Name   string       `json:"name"`
+	XLabel string       `json:"xLabel"`
+	YLabel string       `json:"yLabel"`
+	Notes  []string     `json:"notes,omitempty"`
+	Series []jsonSeries `json:"series"`
+}
+
+type jsonSeries struct {
+	Label string    `json:"label"`
+	X     []float64 `json:"x"`
+	Y     []float64 `json:"y"`
+}
+
+// WriteJSON renders the result as pretty-printed JSON, including the
+// notes.
+func WriteJSON(w io.Writer, r Result) error {
+	out := jsonResult{
+		Name:   r.Name,
+		XLabel: r.XLabel,
+		YLabel: r.YLabel,
+		Notes:  r.Notes,
+	}
+	for _, s := range r.Series {
+		out.Series = append(out.Series, jsonSeries{Label: s.Label, X: s.X, Y: s.Y})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Format names an output rendering for results.
+type Format string
+
+// Supported output formats.
+const (
+	FormatTable Format = "table"
+	FormatCSV   Format = "csv"
+	FormatJSON  Format = "json"
+)
+
+// WriteResult renders the result in the given format.
+func WriteResult(w io.Writer, r Result, f Format) error {
+	switch f {
+	case FormatTable, "":
+		PrintResult(w, r)
+		return nil
+	case FormatCSV:
+		return WriteCSV(w, r)
+	case FormatJSON:
+		return WriteJSON(w, r)
+	default:
+		return fmt.Errorf("experiments: unknown format %q (have table, csv, json)", f)
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dynagg/internal/stats"
+)
+
+func demoResult() Result {
+	r := Result{
+		Name: "demo", XLabel: "round", YLabel: "stddev",
+		Series: []stats.Series{
+			{Label: "a", X: []float64{0, 1, 2}, Y: []float64{3, 2, 1}},
+			{Label: "b", X: []float64{1, 2}, Y: []float64{9, 8}},
+		},
+	}
+	r.Notef("hello")
+	return r
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, demoResult()); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("%d rows, want 4 (header + 3)", len(records))
+	}
+	if records[0][0] != "round" || records[0][1] != "a" || records[0][2] != "b" {
+		t.Errorf("header = %v", records[0])
+	}
+	// Row for x=0: series b has no sample.
+	if records[1][0] != "0" || records[1][1] != "3" || records[1][2] != "" {
+		t.Errorf("row 0 = %v", records[1])
+	}
+	if records[2][1] != "2" || records[2][2] != "9" {
+		t.Errorf("row 1 = %v", records[2])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJSON(&sb, demoResult()); err != nil {
+		t.Fatal(err)
+	}
+	var got jsonResult
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "demo" || got.XLabel != "round" || got.YLabel != "stddev" {
+		t.Errorf("header fields = %+v", got)
+	}
+	if len(got.Notes) != 1 || got.Notes[0] != "hello" {
+		t.Errorf("notes = %v", got.Notes)
+	}
+	if len(got.Series) != 2 || got.Series[0].Label != "a" || len(got.Series[1].Y) != 2 {
+		t.Errorf("series = %+v", got.Series)
+	}
+}
+
+func TestWriteResultDispatch(t *testing.T) {
+	r := demoResult()
+	for _, f := range []Format{FormatTable, FormatCSV, FormatJSON, ""} {
+		var sb strings.Builder
+		if err := WriteResult(&sb, r, f); err != nil {
+			t.Errorf("format %q: %v", f, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("format %q produced nothing", f)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteResult(&sb, r, "yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

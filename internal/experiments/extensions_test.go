@@ -1,0 +1,66 @@
+package experiments
+
+import "testing"
+
+func TestAblationMomentsShape(t *testing.T) {
+	sc := Scale{N: 1000, Rounds: 50, FailAt: 15, Seed: 1}
+	res := AblationMoments(sc)
+	if len(res.Series) != 3 {
+		t.Fatalf("%d series, want 3", len(res.Series))
+	}
+	static := lastY(res.Series[0])  // λ=0
+	dynamic := lastY(res.Series[2]) // λ=0.1
+	// True stddev halves after failing the top half; the static
+	// protocol's error stays large (≈14), the dynamic one recovers.
+	if static < 5 {
+		t.Errorf("static stddev error %v, want stuck high", static)
+	}
+	if dynamic > 5 {
+		t.Errorf("dynamic stddev error %v, want recovered", dynamic)
+	}
+	if dynamic >= static {
+		t.Errorf("dynamic %v not better than static %v", dynamic, static)
+	}
+}
+
+func TestAblationExtremesShape(t *testing.T) {
+	sc := Scale{N: 800, Rounds: 70, FailAt: 15, Seed: 1}
+	res := AblationExtremes(sc)
+	if len(res.Series) != 2 {
+		t.Fatalf("%d series, want 2", len(res.Series))
+	}
+	ageOut := lastY(res.Series[0])
+	static := lastY(res.Series[1])
+	// Failing the top half of U[0,100) moves the true max from ≈100 to
+	// ≈50; static gossip max keeps reporting the departed ≈100.
+	if static < 20 {
+		t.Errorf("static max error %v, want stuck near 50", static)
+	}
+	if ageOut > 5 {
+		t.Errorf("age-out max error %v, want recovered", ageOut)
+	}
+}
+
+func TestAblationGridCutoffShape(t *testing.T) {
+	// The propagation-rate effect needs a grid whose flood time clearly
+	// exceeds the uniform-gossip cutoff; 28×28 is the smallest side
+	// where the U-shape is unambiguous.
+	res := AblationGridCutoff(28, 1)
+	if len(res.Series) != 2 {
+		t.Fatalf("%d series, want 2", len(res.Series))
+	}
+	pre, post := res.Series[0], res.Series[1]
+	if pre.Len() != 5 || post.Len() != 5 {
+		t.Fatalf("cutoff sweep lengths %d, %d; want 5", pre.Len(), post.Len())
+	}
+	// Before failure: the uniform-gossip intercept (7) flickers, a
+	// grid-calibrated one (25) is stable.
+	if pre.Y[0] < pre.Y[2] {
+		t.Errorf("tight cutoff error %v unexpectedly below matched %v", pre.Y[0], pre.Y[2])
+	}
+	// After failure: an over-generous cutoff (60) has not healed within
+	// 30 rounds, the matched one has.
+	if post.Y[4] < 3*post.Y[2] {
+		t.Errorf("over-generous cutoff error %v not clearly above matched %v", post.Y[4], post.Y[2])
+	}
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+func TestAblationMobilityShape(t *testing.T) {
+	sc := Scale{N: 1200, Rounds: 80, FailAt: 30, Seed: 1}
+	res := AblationMobility(sc)
+	if len(res.Series) != 4 {
+		t.Fatalf("%d series, want 4 (3 λ + degree)", len(res.Series))
+	}
+	static := res.Series[0].TailMean(5)  // λ=0
+	dynamic := res.Series[2].TailMean(5) // λ=0.1
+	// Correlated departure from the field: λ=0 stays wrong, reversion
+	// recovers even though connectivity is proximity-limited.
+	if static < 10 {
+		t.Errorf("static tail stddev %v, want stuck near 25", static)
+	}
+	if dynamic > 10 {
+		t.Errorf("λ=0.1 tail stddev %v, want recovered", dynamic)
+	}
+	deg := res.Series[3]
+	if deg.Len() == 0 {
+		t.Fatal("no degree series")
+	}
+	mean := 0.0
+	for _, y := range deg.Y {
+		mean += y
+	}
+	mean /= float64(deg.Len())
+	if mean < 1 || mean > 50 {
+		t.Errorf("mean radio degree %v implausible for the configured density", mean)
+	}
+}

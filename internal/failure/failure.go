@@ -1,0 +1,111 @@
+// Package failure injects the evaluation's failure models into a
+// running simulation. Failures are always *silent*: the environment's
+// liveness flips and nothing else is told. Locally, a failed peer is
+// indistinguishable from one that moved away — the situation the
+// dynamic protocols are designed for.
+package failure
+
+import (
+	"sort"
+
+	"dynagg/internal/env"
+	"dynagg/internal/gossip"
+	"dynagg/internal/xrand"
+)
+
+// RandomAt returns a BeforeRound hook that, at the given round, fails
+// a uniform random fraction of the currently live hosts — the
+// "uncorrelated failures" model of Figure 8 (50,000 of 100,000 random
+// hosts at round 20).
+func RandomAt(round int, frac float64, pop *env.Population, seed uint64) gossip.Hook {
+	return func(r int, e *gossip.Engine) {
+		if r != round {
+			return
+		}
+		rng := xrand.New(seed)
+		live := append([]gossip.NodeID(nil), pop.AliveIDs()...)
+		// Sort for determinism: AliveIDs order depends on history.
+		sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+		k := int(frac * float64(len(live)))
+		idx := rng.Sample(make([]int, k), len(live))
+		for _, i := range idx {
+			pop.Fail(live[i])
+		}
+	}
+}
+
+// TopValuedAt returns a BeforeRound hook that, at the given round,
+// fails the highest-valued fraction of the live hosts — the
+// "correlated failures" model of Figure 10 (failing the top-valued
+// half drops the true average from 50 to 25). values[i] is host i's
+// data value.
+func TopValuedAt(round int, frac float64, pop *env.Population, values []float64) gossip.Hook {
+	return func(r int, e *gossip.Engine) {
+		if r != round {
+			return
+		}
+		live := append([]gossip.NodeID(nil), pop.AliveIDs()...)
+		sort.Slice(live, func(i, j int) bool {
+			vi, vj := values[live[i]], values[live[j]]
+			if vi != vj {
+				return vi > vj // highest first
+			}
+			return live[i] < live[j]
+		})
+		k := int(frac * float64(len(live)))
+		for _, id := range live[:k] {
+			pop.Fail(id)
+		}
+	}
+}
+
+// Churn returns a BeforeRound hook implementing continuous membership
+// churn from startRound on: each round, a Poisson-ish number of live
+// hosts (rate × live population) fail and the same expected number of
+// dead hosts rejoin. It keeps long-running simulations in motion
+// without draining the population.
+func Churn(startRound int, rate float64, pop *env.Population, seed uint64) gossip.Hook {
+	rng := xrand.New(seed)
+	return func(r int, e *gossip.Engine) {
+		if r < startRound {
+			return
+		}
+		n := pop.Size()
+		for i := 0; i < n; i++ {
+			id := gossip.NodeID(i)
+			if pop.Alive(id) {
+				if rng.Prob(rate) {
+					pop.Fail(id)
+				}
+			} else if rng.Prob(rate) {
+				pop.Revive(id)
+			}
+		}
+	}
+}
+
+// FailSet returns a BeforeRound hook that fails an explicit host set at
+// the given round, for scripted scenarios.
+func FailSet(round int, ids []gossip.NodeID, pop *env.Population) gossip.Hook {
+	return func(r int, e *gossip.Engine) {
+		if r != round {
+			return
+		}
+		for _, id := range ids {
+			pop.Fail(id)
+		}
+	}
+}
+
+// ReviveSet returns a BeforeRound hook that revives an explicit host
+// set at the given round (a join wave).
+func ReviveSet(round int, ids []gossip.NodeID, pop *env.Population) gossip.Hook {
+	return func(r int, e *gossip.Engine) {
+		if r != round {
+			return
+		}
+		for _, id := range ids {
+			pop.Revive(id)
+		}
+	}
+}

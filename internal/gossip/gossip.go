@@ -1,0 +1,323 @@
+// Package gossip provides the round-based gossip simulation engine the
+// paper's evaluation is built on ("Our simulator employs a common
+// simplification used to analyze gossip protocols: simulation in
+// rounds"). At every round each live host initiates one exchange with
+// a peer chosen by the gossip environment; a push/pull round therefore
+// costs at least 2n messages.
+//
+// The engine is deliberately deterministic: given the same seed,
+// environment and protocol, every run produces byte-identical results.
+// Each host owns a private split of the experiment PRNG, so host
+// behaviour is independent of iteration order.
+package gossip
+
+import (
+	"fmt"
+
+	"dynagg/internal/xrand"
+)
+
+// NodeID identifies a simulated host, densely numbered from 0.
+type NodeID int32
+
+// Envelope is one protocol message in flight: a payload addressed to a
+// destination host. Self-addressed envelopes are legal and common
+// (Push-Sum sends half its mass to itself).
+type Envelope struct {
+	To      NodeID
+	Payload any
+}
+
+// PeerPicker returns gossip partners for the emitting host this round.
+// Each call draws an independent peer; ok is false when the
+// environment offers no reachable peer (an isolated host).
+type PeerPicker func() (NodeID, bool)
+
+// Agent is one protocol instance running at one host under the push
+// gossip model.
+//
+// The engine calls, every round, in order: BeginRound on every live
+// agent; Emit on every live agent (collecting envelopes); Receive on
+// the recipient of every envelope; EndRound on every live agent.
+// Emission is computed entirely from state at the start of the round —
+// agents must not apply received payloads until EndRound.
+type Agent interface {
+	// BeginRound resets per-round state (such as the inbox).
+	BeginRound(round int)
+	// Emit returns this round's outgoing messages. pick draws peers
+	// from the environment; rng is the host's private generator.
+	Emit(round int, rng *xrand.Rand, pick PeerPicker) []Envelope
+	// Receive accepts one payload delivered during the current round.
+	Receive(payload any)
+	// EndRound folds the received payloads into the host state.
+	EndRound(round int)
+	// Estimate returns the host's current estimate of the aggregate;
+	// ok is false before any estimate exists.
+	Estimate() (value float64, ok bool)
+}
+
+// Exchanger is implemented by agents that additionally support the
+// push/pull model: an atomic pairwise exchange in which both ends
+// update together (Karp et al.'s half-difference transfer for
+// Push-Sum). Exchange must be symmetric in effect regardless of which
+// side initiates.
+type Exchanger interface {
+	Agent
+	Exchange(peer Exchanger)
+}
+
+// Environment decides who can talk to whom and when, independent of
+// the protocol ("Gossip protocols are distinct from gossip
+// environments").
+type Environment interface {
+	// Size returns the total host population, dead or alive.
+	Size() int
+	// Alive reports whether the host participates in the given round.
+	Alive(id NodeID, round int) bool
+	// Pick draws one gossip partner for the host, or ok=false if the
+	// host currently has no reachable peer.
+	Pick(id NodeID, round int, rng *xrand.Rand) (NodeID, bool)
+	// Advance is called once before each round so time-driven
+	// environments (traces) can update their topology.
+	Advance(round int)
+}
+
+// Model selects the gossip exchange pattern.
+type Model int
+
+const (
+	// Push: each initiator sends state to its peer (and possibly to
+	// itself); no reply within the round.
+	Push Model = iota
+	// PushPull: each initiation is an atomic pairwise exchange; both
+	// ends observe each other's state. Requires agents implementing
+	// Exchanger.
+	PushPull
+)
+
+// String returns the model name.
+func (m Model) String() string {
+	switch m {
+	case Push:
+		return "push"
+	case PushPull:
+		return "push-pull"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Hook is invoked by the engine around rounds; failure schedules and
+// metrics recorders are hooks.
+type Hook func(round int, e *Engine)
+
+// Config assembles an engine.
+type Config struct {
+	Env    Environment
+	Agents []Agent
+	Model  Model
+	Seed   uint64
+	// BeforeRound hooks run after Env.Advance but before any agent
+	// acts, in registration order.
+	BeforeRound []Hook
+	// AfterRound hooks run after EndRound on all agents.
+	AfterRound []Hook
+}
+
+// Engine drives a set of agents over an environment, one round at a
+// time.
+type Engine struct {
+	env    Environment
+	agents []Agent
+	model  Model
+	rngs   []*xrand.Rand
+	before []Hook
+	after  []Hook
+
+	round    int
+	messages int64 // protocol payloads delivered (self-delivery included)
+	contacts int64 // pairwise meetings (push/pull) or emissions (push)
+
+	// scratch inbox: one slice per destination to keep delivery
+	// order deterministic and allocation low.
+	inbox [][]any
+}
+
+// NewEngine validates the configuration and builds an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Env == nil {
+		return nil, fmt.Errorf("gossip: Config.Env is nil")
+	}
+	if len(cfg.Agents) != cfg.Env.Size() {
+		return nil, fmt.Errorf("gossip: %d agents for environment of size %d",
+			len(cfg.Agents), cfg.Env.Size())
+	}
+	if cfg.Model == PushPull {
+		for i, a := range cfg.Agents {
+			if _, ok := a.(Exchanger); !ok {
+				return nil, fmt.Errorf("gossip: agent %d (%T) does not implement Exchanger required by push-pull", i, a)
+			}
+		}
+	}
+	root := xrand.New(cfg.Seed)
+	rngs := make([]*xrand.Rand, len(cfg.Agents))
+	for i := range rngs {
+		rngs[i] = root.Split(uint64(i))
+	}
+	return &Engine{
+		env:    cfg.Env,
+		agents: cfg.Agents,
+		model:  cfg.Model,
+		rngs:   rngs,
+		before: cfg.BeforeRound,
+		after:  cfg.AfterRound,
+		inbox:  make([][]any, len(cfg.Agents)),
+	}, nil
+}
+
+// Round returns the number of completed rounds.
+func (e *Engine) Round() int { return e.round }
+
+// Messages returns the cumulative count of protocol payloads delivered.
+func (e *Engine) Messages() int64 { return e.messages }
+
+// Contacts returns the cumulative count of gossip contacts initiated.
+func (e *Engine) Contacts() int64 { return e.contacts }
+
+// Env returns the engine's environment.
+func (e *Engine) Env() Environment { return e.env }
+
+// Agent returns the agent at the given host.
+func (e *Engine) Agent(id NodeID) Agent { return e.agents[id] }
+
+// Agents returns the full agent slice (shared, not copied).
+func (e *Engine) Agents() []Agent { return e.agents }
+
+// Rng returns host id's private generator (used by hooks that need
+// reproducible randomness attributable to a host).
+func (e *Engine) Rng(id NodeID) *xrand.Rand { return e.rngs[id] }
+
+// Step executes one gossip round.
+func (e *Engine) Step() {
+	r := e.round
+	e.env.Advance(r)
+	for _, h := range e.before {
+		h(r, e)
+	}
+	switch e.model {
+	case Push:
+		e.stepPush(r)
+	case PushPull:
+		e.stepPushPull(r)
+	}
+	for _, h := range e.after {
+		h(r, e)
+	}
+	e.round++
+}
+
+// Run executes the given number of rounds.
+func (e *Engine) Run(rounds int) {
+	for i := 0; i < rounds; i++ {
+		e.Step()
+	}
+}
+
+func (e *Engine) stepPush(r int) {
+	n := len(e.agents)
+	for id := 0; id < n; id++ {
+		if e.env.Alive(NodeID(id), r) {
+			e.agents[id].BeginRound(r)
+		}
+	}
+	// Collect all emissions before delivering anything: the round is
+	// synchronous, so every message is computed from start-of-round
+	// state.
+	for id := 0; id < n; id++ {
+		nid := NodeID(id)
+		if !e.env.Alive(nid, r) {
+			continue
+		}
+		rng := e.rngs[id]
+		pick := func() (NodeID, bool) { return e.env.Pick(nid, r, rng) }
+		envs := e.agents[id].Emit(r, rng, pick)
+		e.contacts++
+		for _, env := range envs {
+			// Messages to dead hosts are lost silently: that is the
+			// point of the dynamic protocols.
+			if e.env.Alive(env.To, r) {
+				e.inbox[env.To] = append(e.inbox[env.To], env.Payload)
+			}
+			e.messages++
+		}
+	}
+	for id := 0; id < n; id++ {
+		box := e.inbox[id]
+		if len(box) == 0 {
+			continue
+		}
+		if e.env.Alive(NodeID(id), r) {
+			for _, p := range box {
+				e.agents[id].Receive(p)
+			}
+		}
+		e.inbox[id] = box[:0]
+	}
+	for id := 0; id < n; id++ {
+		if e.env.Alive(NodeID(id), r) {
+			e.agents[id].EndRound(r)
+		}
+	}
+}
+
+func (e *Engine) stepPushPull(r int) {
+	n := len(e.agents)
+	for id := 0; id < n; id++ {
+		if e.env.Alive(NodeID(id), r) {
+			e.agents[id].BeginRound(r)
+		}
+	}
+	for id := 0; id < n; id++ {
+		nid := NodeID(id)
+		if !e.env.Alive(nid, r) {
+			continue
+		}
+		peer, ok := e.env.Pick(nid, r, e.rngs[id])
+		if !ok {
+			continue
+		}
+		e.contacts++
+		e.messages += 2 // state travels both ways
+		a := e.agents[id].(Exchanger)
+		b := e.agents[peer].(Exchanger)
+		a.Exchange(b)
+	}
+	for id := 0; id < n; id++ {
+		if e.env.Alive(NodeID(id), r) {
+			e.agents[id].EndRound(r)
+		}
+	}
+}
+
+// Estimates returns the current estimates of all live hosts.
+func (e *Engine) Estimates() []float64 {
+	out := make([]float64, 0, len(e.agents))
+	for id, a := range e.agents {
+		if !e.env.Alive(NodeID(id), e.round) {
+			continue
+		}
+		if v, ok := a.Estimate(); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// EstimateOf returns host id's estimate if the host is alive and has
+// one.
+func (e *Engine) EstimateOf(id NodeID) (float64, bool) {
+	if !e.env.Alive(id, e.round) {
+		return 0, false
+	}
+	return e.agents[id].Estimate()
+}

@@ -1,0 +1,87 @@
+package gossip
+
+import (
+	"testing"
+
+	"dynagg/internal/xrand"
+)
+
+// massAgent is a minimal Push-Sum-like agent for engine overhead
+// benchmarks (the real protocols live in internal/protocol).
+type massAgent struct {
+	id   NodeID
+	w, v float64
+	iw   float64
+	iv   float64
+}
+
+func (a *massAgent) BeginRound(int) { a.iw, a.iv = 0, 0 }
+func (a *massAgent) Emit(_ int, _ *xrand.Rand, pick PeerPicker) []Envelope {
+	peer, ok := pick()
+	if !ok {
+		return []Envelope{{To: a.id, Payload: [2]float64{a.w, a.v}}}
+	}
+	h := [2]float64{a.w / 2, a.v / 2}
+	return []Envelope{{To: peer, Payload: h}, {To: a.id, Payload: h}}
+}
+func (a *massAgent) Receive(p any) {
+	m := p.([2]float64)
+	a.iw += m[0]
+	a.iv += m[1]
+}
+func (a *massAgent) EndRound(int)              { a.w, a.v = a.iw, a.iv }
+func (a *massAgent) Estimate() (float64, bool) { return a.v / a.w, true }
+func (a *massAgent) Exchange(peer Exchanger) {
+	p := peer.(*massAgent)
+	mw, mv := (a.w+p.w)/2, (a.v+p.v)/2
+	a.w, p.w = mw, mw
+	a.v, p.v = mv, mv
+}
+
+type benchEnv struct{ n int }
+
+func (e benchEnv) Size() int              { return e.n }
+func (e benchEnv) Alive(NodeID, int) bool { return true }
+func (e benchEnv) Advance(int)            {}
+func (e benchEnv) Pick(id NodeID, _ int, rng *xrand.Rand) (NodeID, bool) {
+	for {
+		c := NodeID(rng.Intn(e.n))
+		if c != id {
+			return c, true
+		}
+	}
+}
+
+func benchEngine(b *testing.B, n int, model Model) *Engine {
+	b.Helper()
+	agents := make([]Agent, n)
+	for i := range agents {
+		agents[i] = &massAgent{id: NodeID(i), w: 1, v: float64(i)}
+	}
+	e, err := NewEngine(Config{Env: benchEnv{n}, Agents: agents, Model: model, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkRoundPush measures one push round over 10,000 hosts.
+func BenchmarkRoundPush(b *testing.B) {
+	e := benchEngine(b, 10000, Push)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkRoundPushPull measures one push/pull round over 10,000
+// hosts.
+func BenchmarkRoundPushPull(b *testing.B) {
+	e := benchEngine(b, 10000, PushPull)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

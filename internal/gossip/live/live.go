@@ -1,0 +1,231 @@
+// Package live runs gossip protocols with one goroutine per simulated
+// host, exchanging messages over channels — the Go-native counterpart
+// to the deterministic round engine in package gossip.
+//
+// The round engine answers "what does the protocol do?" reproducibly;
+// the live engine answers "does the protocol survive reality?":
+// hosts tick independently without a global barrier, message delivery
+// is asynchronous, inboxes overflow and drop (like a radio), and
+// push/pull exchanges contend on per-host locks. The paper's protocols
+// are designed exactly for such loose environments, so they must
+// converge here too — the live engine's tests assert convergence
+// within tolerance rather than exact trajectories.
+//
+// Restrictions compared to the round engine: the environment must be
+// time-invariant (Uniform or Grid; contact traces need the global
+// clock that rounds provide), and per-run results are not reproducible
+// because goroutine scheduling is not.
+package live
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dynagg/internal/gossip"
+	"dynagg/internal/xrand"
+)
+
+// Config assembles a live engine.
+type Config struct {
+	// Agents are the protocol instances, one per host.
+	Agents []gossip.Agent
+	// Env supplies liveness and peer selection. It must be
+	// time-invariant: Advance is never called and the round argument
+	// passed to Alive/Pick is the host's local tick count.
+	Env gossip.Environment
+	// Model selects push (channel delivery) or push/pull (pairwise
+	// locked exchange).
+	Model gossip.Model
+	// Seed drives per-host randomness.
+	Seed uint64
+	// Ticks is how many protocol iterations each host performs.
+	Ticks int
+	// InboxCapacity bounds each host's message queue; messages beyond
+	// it are dropped, as a saturated radio would. Zero means 256.
+	InboxCapacity int
+}
+
+// Engine is a running live simulation.
+type Engine struct {
+	cfg     Config
+	inbox   []chan any
+	locks   []sync.Mutex
+	rngs    []*xrand.Rand
+	sent    atomic.Int64
+	dropped atomic.Int64
+}
+
+// New validates the configuration and builds a live engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Env == nil {
+		return nil, fmt.Errorf("live: Config.Env is nil")
+	}
+	if len(cfg.Agents) != cfg.Env.Size() {
+		return nil, fmt.Errorf("live: %d agents for environment of size %d", len(cfg.Agents), cfg.Env.Size())
+	}
+	if cfg.Ticks <= 0 {
+		return nil, fmt.Errorf("live: Ticks must be positive, got %d", cfg.Ticks)
+	}
+	if cfg.InboxCapacity == 0 {
+		cfg.InboxCapacity = 256
+	}
+	if cfg.Model == gossip.PushPull {
+		for i, a := range cfg.Agents {
+			if _, ok := a.(gossip.Exchanger); !ok {
+				return nil, fmt.Errorf("live: agent %d (%T) does not implement Exchanger", i, a)
+			}
+		}
+	}
+	n := len(cfg.Agents)
+	e := &Engine{
+		cfg:   cfg,
+		inbox: make([]chan any, n),
+		locks: make([]sync.Mutex, n),
+		rngs:  make([]*xrand.Rand, n),
+	}
+	root := xrand.New(cfg.Seed)
+	for i := 0; i < n; i++ {
+		e.inbox[i] = make(chan any, cfg.InboxCapacity)
+		e.rngs[i] = root.Split(uint64(i))
+	}
+	return e, nil
+}
+
+// Sent returns the number of messages successfully enqueued.
+func (e *Engine) Sent() int64 { return e.sent.Load() }
+
+// Dropped returns the number of messages lost to full inboxes.
+func (e *Engine) Dropped() int64 { return e.dropped.Load() }
+
+// Run executes every host's ticks concurrently and blocks until all
+// hosts finish or the context is cancelled.
+func (e *Engine) Run(ctx context.Context) error {
+	var wg sync.WaitGroup
+	n := len(e.cfg.Agents)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := e.hostLoop(ctx, gossip.NodeID(id)); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+func (e *Engine) hostLoop(ctx context.Context, id gossip.NodeID) error {
+	agent := e.cfg.Agents[id]
+	rng := e.rngs[id]
+	for tick := 0; tick < e.cfg.Ticks; tick++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if !e.cfg.Env.Alive(id, tick) {
+			continue
+		}
+		switch e.cfg.Model {
+		case gossip.Push:
+			e.pushTick(agent, id, tick, rng)
+		case gossip.PushPull:
+			e.pullTick(agent, id, tick, rng)
+		}
+	}
+	return nil
+}
+
+// pushTick runs one asynchronous push iteration: drain, emit, fold.
+// The agent lock serializes against concurrent exchanges and estimate
+// reads.
+func (e *Engine) pushTick(agent gossip.Agent, id gossip.NodeID, tick int, rng *xrand.Rand) {
+	e.locks[id].Lock()
+	agent.BeginRound(tick)
+	// Drain whatever arrived since the last tick.
+	for {
+		select {
+		case p := <-e.inbox[id]:
+			agent.Receive(p)
+		default:
+			goto drained
+		}
+	}
+drained:
+	pick := func() (gossip.NodeID, bool) { return e.cfg.Env.Pick(id, tick, rng) }
+	envs := agent.Emit(tick, rng, pick)
+	// Self messages are the host's own retained share: they must land
+	// in the same round (before EndRound folds the inbox) and must
+	// never be dropped, or mass would evaporate.
+	for _, env := range envs {
+		if env.To == id {
+			agent.Receive(env.Payload)
+			e.sent.Add(1)
+		}
+	}
+	agent.EndRound(tick)
+	e.locks[id].Unlock()
+
+	for _, env := range envs {
+		if env.To == id {
+			continue
+		}
+		select {
+		case e.inbox[env.To] <- env.Payload:
+			e.sent.Add(1)
+		default:
+			e.dropped.Add(1)
+		}
+	}
+}
+
+// pullTick runs one push/pull iteration: pick a peer and perform the
+// pairwise exchange under both hosts' locks, ordered by id to prevent
+// deadlock.
+func (e *Engine) pullTick(agent gossip.Agent, id gossip.NodeID, tick int, rng *xrand.Rand) {
+	peer, ok := e.cfg.Env.Pick(id, tick, rng)
+	if !ok || peer == id {
+		return
+	}
+	a, b := id, peer
+	if a > b {
+		a, b = b, a
+	}
+	e.locks[a].Lock()
+	e.locks[b].Lock()
+	agent.BeginRound(tick)
+	agent.(gossip.Exchanger).Exchange(e.cfg.Agents[peer].(gossip.Exchanger))
+	agent.EndRound(tick)
+	e.locks[b].Unlock()
+	e.locks[a].Unlock()
+	e.sent.Add(2)
+}
+
+// Estimates returns the live hosts' current estimates. Call after Run
+// returns (or accept racy snapshots during a run — each read takes the
+// host lock, so individual estimates are coherent).
+func (e *Engine) Estimates() []float64 {
+	out := make([]float64, 0, len(e.cfg.Agents))
+	for i, a := range e.cfg.Agents {
+		id := gossip.NodeID(i)
+		if !e.cfg.Env.Alive(id, e.cfg.Ticks) {
+			continue
+		}
+		e.locks[id].Lock()
+		v, ok := a.Estimate()
+		e.locks[id].Unlock()
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}

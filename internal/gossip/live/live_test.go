@@ -1,0 +1,228 @@
+package live
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"dynagg/internal/env"
+	"dynagg/internal/gossip"
+	"dynagg/internal/protocol/pushsum"
+	"dynagg/internal/protocol/pushsumrevert"
+	"dynagg/internal/protocol/sketchreset"
+	"dynagg/internal/sketch"
+	"dynagg/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	u := env.NewUniform(2)
+	agents := []gossip.Agent{pushsum.NewAverage(0, 1), pushsum.NewAverage(1, 2)}
+
+	if _, err := New(Config{Agents: agents, Ticks: 5}); err == nil {
+		t.Error("nil env accepted")
+	}
+	if _, err := New(Config{Env: u, Agents: agents[:1], Ticks: 5}); err == nil {
+		t.Error("agent/env size mismatch accepted")
+	}
+	if _, err := New(Config{Env: u, Agents: agents, Ticks: 0}); err == nil {
+		t.Error("zero ticks accepted")
+	}
+	if _, err := New(Config{Env: u, Agents: agents, Ticks: 5}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+type bareAgent struct{}
+
+func (bareAgent) BeginRound(int)                                             {}
+func (bareAgent) Emit(int, *xrand.Rand, gossip.PeerPicker) []gossip.Envelope { return nil }
+func (bareAgent) Receive(any)                                                {}
+func (bareAgent) EndRound(int)                                               {}
+func (bareAgent) Estimate() (float64, bool)                                  { return 0, false }
+
+func TestNewPushPullRequiresExchanger(t *testing.T) {
+	u := env.NewUniform(1)
+	if _, err := New(Config{
+		Env: u, Agents: []gossip.Agent{bareAgent{}}, Ticks: 1, Model: gossip.PushPull,
+	}); err == nil {
+		t.Error("push/pull live engine accepted non-Exchanger agent")
+	}
+}
+
+func TestPushSumConvergesUnderPush(t *testing.T) {
+	const n = 300
+	u := env.NewUniform(n)
+	agents := make([]gossip.Agent, n)
+	var truth float64
+	for i := 0; i < n; i++ {
+		v := float64(i % 100)
+		truth += v
+		agents[i] = pushsum.NewAverage(gossip.NodeID(i), v)
+	}
+	truth /= n
+	e, err := New(Config{Env: u, Agents: agents, Model: gossip.Push, Seed: 1, Ticks: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ests := e.Estimates()
+	if len(ests) == 0 {
+		t.Fatal("no estimates")
+	}
+	var mean float64
+	for _, v := range ests {
+		mean += v
+	}
+	mean /= float64(len(ests))
+	// Asynchronous delivery loses a little mass to inbox races at
+	// shutdown; the mean estimate should still be near the truth.
+	if math.Abs(mean-truth) > 0.2*truth {
+		t.Errorf("mean estimate %v, want ≈ %v", mean, truth)
+	}
+	if e.Sent() == 0 {
+		t.Error("no messages sent")
+	}
+}
+
+func TestPushSumRevertConvergesUnderPushPull(t *testing.T) {
+	const n = 300
+	u := env.NewUniform(n)
+	agents := make([]gossip.Agent, n)
+	var truth float64
+	for i := 0; i < n; i++ {
+		v := float64(i % 100)
+		truth += v
+		agents[i] = pushsumrevert.New(gossip.NodeID(i), v,
+			pushsumrevert.Config{Lambda: 0.01, PushPull: true})
+	}
+	truth /= n
+	e, err := New(Config{Env: u, Agents: agents, Model: gossip.PushPull, Seed: 2, Ticks: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Hosts tick without a barrier: one that burns through its ticks
+	// early can be left behind by later exchanges it never sees, so the
+	// convergence contract is on the population, not each host.
+	ests := e.Estimates()
+	var mean float64
+	for _, est := range ests {
+		mean += est
+	}
+	mean /= float64(len(ests))
+	if math.Abs(mean-truth) > 0.15*truth {
+		t.Errorf("mean estimate %v, want ≈ %v", mean, truth)
+	}
+	within := 0
+	for _, est := range ests {
+		if math.Abs(est-truth) <= 0.25*truth {
+			within++
+		}
+	}
+	if within < len(ests)*9/10 {
+		t.Errorf("only %d/%d hosts within 25%% of truth", within, len(ests))
+	}
+}
+
+func TestSketchResetConvergesLive(t *testing.T) {
+	const n = 400
+	u := env.NewUniform(n)
+	agents := make([]gossip.Agent, n)
+	for i := 0; i < n; i++ {
+		agents[i] = sketchreset.New(gossip.NodeID(i), sketchreset.Config{
+			Params: sketch.DefaultParams, Identifiers: 1,
+		})
+	}
+	e, err := New(Config{Env: u, Agents: agents, Model: gossip.PushPull, Seed: 3, Ticks: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ests := e.Estimates()
+	var mean float64
+	for _, v := range ests {
+		mean += v
+	}
+	mean /= float64(len(ests))
+	if math.Abs(mean-n) > 0.4*n {
+		t.Errorf("mean live count estimate %v, want ≈ %d", mean, n)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	const n = 50
+	u := env.NewUniform(n)
+	agents := make([]gossip.Agent, n)
+	for i := 0; i < n; i++ {
+		agents[i] = pushsum.NewAverage(gossip.NodeID(i), 1)
+	}
+	e, err := New(Config{Env: u, Agents: agents, Model: gossip.Push, Seed: 4, Ticks: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- e.Run(ctx) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("Run returned nil despite cancellation")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after context cancellation")
+	}
+}
+
+func TestTinyInboxDrops(t *testing.T) {
+	const n = 100
+	u := env.NewUniform(n)
+	agents := make([]gossip.Agent, n)
+	for i := 0; i < n; i++ {
+		agents[i] = pushsum.NewAverage(gossip.NodeID(i), float64(i))
+	}
+	e, err := New(Config{
+		Env: u, Agents: agents, Model: gossip.Push, Seed: 5, Ticks: 50,
+		InboxCapacity: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// With capacity-1 inboxes and 100 concurrent pushers, drops are all
+	// but guaranteed; the engine must count them, not deadlock.
+	if e.Sent() == 0 {
+		t.Error("nothing sent")
+	}
+	t.Logf("sent %d dropped %d", e.Sent(), e.Dropped())
+}
+
+func TestEstimatesSkipsDeadHosts(t *testing.T) {
+	const n = 10
+	u := env.NewUniform(n)
+	agents := make([]gossip.Agent, n)
+	for i := 0; i < n; i++ {
+		agents[i] = pushsum.NewAverage(gossip.NodeID(i), 1)
+	}
+	u.Population.Fail(0)
+	u.Population.Fail(1)
+	e, err := New(Config{Env: u, Agents: agents, Model: gossip.Push, Seed: 6, Ticks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.Estimates()); got != n-2 {
+		t.Errorf("Estimates returned %d values, want %d", got, n-2)
+	}
+}

@@ -1,0 +1,174 @@
+// Package groups computes the paper's notion of "nearby" hosts for
+// trace-driven runs: two hosts belong to the same group when a path
+// exists between them over the union of all links that have been up at
+// any point during the last 10 minutes (§V). Ground truth for the
+// trace experiments is computed per group, and each host's error is
+// measured against its own group's aggregate.
+package groups
+
+import "sort"
+
+// DefaultWindow is the paper's 10-minute edge-union horizon, in
+// seconds.
+const DefaultWindowSeconds = 600
+
+// Assignment maps each device to its group index. Group indices are
+// dense, starting at 0, ordered by each group's smallest member.
+type Assignment struct {
+	group []int
+	sizes []int
+}
+
+// Assign partitions n devices into connected components over the given
+// undirected edges.
+func Assign(n int, edges [][2]int) Assignment {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for _, e := range edges {
+		union(e[0], e[1])
+	}
+	// Densify group ids in order of smallest member.
+	group := make([]int, n)
+	next := 0
+	id := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		root := find(i)
+		g, ok := id[root]
+		if !ok {
+			g = next
+			id[root] = g
+			next++
+		}
+		group[i] = g
+	}
+	sizes := make([]int, next)
+	for _, g := range group {
+		sizes[g]++
+	}
+	return Assignment{group: group, sizes: sizes}
+}
+
+// N returns the number of devices.
+func (a Assignment) N() int { return len(a.group) }
+
+// Groups returns the number of groups.
+func (a Assignment) Groups() int { return len(a.sizes) }
+
+// GroupOf returns the group index of device i.
+func (a Assignment) GroupOf(i int) int { return a.group[i] }
+
+// SizeOf returns the number of devices in group g.
+func (a Assignment) SizeOf(g int) int { return a.sizes[g] }
+
+// Members returns the devices in group g in ascending order.
+func (a Assignment) Members(g int) []int {
+	out := make([]int, 0, a.sizes[g])
+	for i, gi := range a.group {
+		if gi == g {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Sizes returns a copy of the per-group sizes.
+func (a Assignment) Sizes() []int {
+	out := make([]int, len(a.sizes))
+	copy(out, a.sizes)
+	return out
+}
+
+// SameGroup reports whether devices i and j are grouped together.
+func (a Assignment) SameGroup(i, j int) bool { return a.group[i] == a.group[j] }
+
+// MeanGroupSizePerHost returns the average, over hosts, of the size of
+// the host's own group — the "average peer count" series plotted
+// alongside Figure 11. (Larger groups weigh more because more hosts
+// experience them.)
+func (a Assignment) MeanGroupSizePerHost() float64 {
+	if len(a.group) == 0 {
+		return 0
+	}
+	var sum int
+	for _, g := range a.group {
+		sum += a.sizes[g]
+	}
+	return float64(sum) / float64(len(a.group))
+}
+
+// MeanComponentSize returns the unweighted average component size.
+func (a Assignment) MeanComponentSize() float64 {
+	if len(a.sizes) == 0 {
+		return 0
+	}
+	var sum int
+	for _, s := range a.sizes {
+		sum += s
+	}
+	return float64(sum) / float64(len(a.sizes))
+}
+
+// GroupAggregate computes, for every group, an aggregate of the given
+// per-device values using the supplied fold (e.g. mean or sum), and
+// returns the per-device view of it: result[i] is the aggregate over
+// device i's group.
+func (a Assignment) GroupAggregate(values []float64, fold func(members []float64) float64) []float64 {
+	perGroup := make([]float64, a.Groups())
+	buf := make([][]float64, a.Groups())
+	for i, v := range values {
+		g := a.group[i]
+		buf[g] = append(buf[g], v)
+	}
+	for g := range perGroup {
+		perGroup[g] = fold(buf[g])
+	}
+	out := make([]float64, len(values))
+	for i := range values {
+		out[i] = perGroup[a.group[i]]
+	}
+	return out
+}
+
+// CanonicalEdges sorts and deduplicates an edge list into canonical
+// (a<b) ascending order, for deterministic comparisons in tests.
+func CanonicalEdges(edges [][2]int) [][2]int {
+	out := make([][2]int, 0, len(edges))
+	seen := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if a != b && !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

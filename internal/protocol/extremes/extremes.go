@@ -1,0 +1,238 @@
+// Package extremes applies the paper's age-out technique to extremum
+// aggregates: dynamic MIN and MAX over the hosts currently in the
+// network.
+//
+// Static gossip max is trivial — forward the largest value seen and it
+// floods in logarithmic time — but, like the counting sketch, it is a
+// monotone OR-style computation: when the host holding the maximum
+// departs, nothing ever retires its value. The fix is the same as
+// Count-Sketch-Reset's (§IV): attach an age to every candidate. The
+// host whose own value a candidate carries pins that candidate's age
+// at zero; everyone else increments ages each round and keeps the
+// minimum age seen per candidate when gossiping. A candidate whose age
+// exceeds a propagation cutoff has, with high probability, lost every
+// host sourcing it and is dropped.
+//
+// Each host retains a small table of the best K live candidates rather
+// than just the best one, so when the extremum ages out the estimate
+// falls back to the runner-up immediately instead of re-flooding from
+// scratch.
+//
+// The cutoff plays the role of f(k): under uniform gossip a still-
+// sourced candidate's age is bounded by the network's flood time,
+// which is O(log n); DefaultCutoff is generous for populations up to
+// millions. Slower environments (spatial grids, sparse traces) need a
+// larger cutoff, exactly as §IV-A discusses for the counting sketch.
+package extremes
+
+import (
+	"fmt"
+	"sort"
+
+	"dynagg/internal/gossip"
+	"dynagg/internal/xrand"
+)
+
+// Mode selects which extremum the protocol maintains.
+type Mode int
+
+const (
+	// Max maintains the network-wide maximum.
+	Max Mode = iota
+	// Min maintains the network-wide minimum.
+	Min
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == Min {
+		return "min"
+	}
+	return "max"
+}
+
+// DefaultCutoff is the default candidate age limit: comfortably above
+// uniform-gossip flood time (≈ log₂ n + a few rounds) for any
+// practical population.
+const DefaultCutoff = 30
+
+// DefaultTableSize is the default number of candidates retained.
+const DefaultTableSize = 8
+
+// Candidate is one (value, owner) pair with its gossip age.
+type Candidate struct {
+	Value float64
+	Owner gossip.NodeID
+	Age   int
+}
+
+// Config parametrizes an extremes host.
+type Config struct {
+	// Mode selects Min or Max.
+	Mode Mode
+	// Cutoff is the age beyond which a candidate is considered
+	// orphaned and dropped. Zero takes DefaultCutoff.
+	Cutoff int
+	// TableSize is how many candidates each host retains. Zero takes
+	// DefaultTableSize.
+	TableSize int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Cutoff == 0 {
+		c.Cutoff = DefaultCutoff
+	}
+	if c.TableSize == 0 {
+		c.TableSize = DefaultTableSize
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Cutoff < 0 {
+		return fmt.Errorf("extremes: negative Cutoff %d", c.Cutoff)
+	}
+	if c.TableSize < 0 {
+		return fmt.Errorf("extremes: negative TableSize %d", c.TableSize)
+	}
+	if c.Mode != Min && c.Mode != Max {
+		return fmt.Errorf("extremes: unknown Mode %d", c.Mode)
+	}
+	return nil
+}
+
+// Node is one dynamic-extremum host.
+type Node struct {
+	id    gossip.NodeID
+	value float64
+	cfg   Config
+
+	// table holds the best candidates, sorted best-first. The host's
+	// own candidate is always present with age 0.
+	table []Candidate
+}
+
+var (
+	_ gossip.Agent     = (*Node)(nil)
+	_ gossip.Exchanger = (*Node)(nil)
+)
+
+// New returns an extremes host contributing the given value.
+func New(id gossip.NodeID, value float64, cfg Config) *Node {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg.fillDefaults()
+	n := &Node{id: id, value: value, cfg: cfg}
+	n.table = []Candidate{{Value: value, Owner: id, Age: 0}}
+	return n
+}
+
+// ID returns the host id.
+func (n *Node) ID() gossip.NodeID { return n.id }
+
+// Value returns the host's own contribution.
+func (n *Node) Value() float64 { return n.value }
+
+// Table returns a copy of the candidate table, best first.
+func (n *Node) Table() []Candidate {
+	out := make([]Candidate, len(n.table))
+	copy(out, n.table)
+	return out
+}
+
+// better reports whether a beats b for this node's mode, with owner id
+// as a deterministic tie-break.
+func (n *Node) better(a, b Candidate) bool {
+	if a.Value != b.Value {
+		if n.cfg.Mode == Max {
+			return a.Value > b.Value
+		}
+		return a.Value < b.Value
+	}
+	return a.Owner < b.Owner
+}
+
+// normalize sorts best-first, deduplicates by owner keeping the
+// youngest age, drops aged-out candidates, re-pins the own entry, and
+// truncates to the table size.
+func (n *Node) normalize() {
+	// Dedup by owner: keep min age (per-owner value is fixed, so any
+	// duplicate differs only in age).
+	byOwner := make(map[gossip.NodeID]Candidate, len(n.table))
+	for _, c := range n.table {
+		if prev, ok := byOwner[c.Owner]; !ok || c.Age < prev.Age {
+			byOwner[c.Owner] = c
+		}
+	}
+	// Own candidate is always live at age 0.
+	byOwner[n.id] = Candidate{Value: n.value, Owner: n.id, Age: 0}
+
+	n.table = n.table[:0]
+	for _, c := range byOwner {
+		if c.Age > n.cfg.Cutoff {
+			continue
+		}
+		n.table = append(n.table, c)
+	}
+	sort.Slice(n.table, func(i, j int) bool { return n.better(n.table[i], n.table[j]) })
+	if len(n.table) > n.cfg.TableSize {
+		n.table = n.table[:n.cfg.TableSize]
+	}
+}
+
+// BeginRound implements gossip.Agent: age every foreign candidate.
+func (n *Node) BeginRound(round int) {
+	for i := range n.table {
+		if n.table[i].Owner != n.id {
+			n.table[i].Age++
+		}
+	}
+	n.normalize()
+}
+
+// Emit implements gossip.Agent: the full candidate table goes to one
+// random peer.
+func (n *Node) Emit(round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip.Envelope {
+	peer, ok := pick()
+	if !ok {
+		return nil
+	}
+	snapshot := make([]Candidate, len(n.table))
+	copy(snapshot, n.table)
+	return []gossip.Envelope{{To: peer, Payload: snapshot}}
+}
+
+// Receive implements gossip.Agent: merge the incoming table. Merging is
+// idempotent and order-insensitive (set union + min-age + truncation),
+// so applying on arrival is safe.
+func (n *Node) Receive(payload any) {
+	n.table = append(n.table, payload.([]Candidate)...)
+	n.normalize()
+}
+
+// EndRound implements gossip.Agent.
+func (n *Node) EndRound(round int) {}
+
+// Exchange implements gossip.Exchanger: mutual table merge.
+func (n *Node) Exchange(peer gossip.Exchanger) {
+	p := peer.(*Node)
+	merged := make([]Candidate, 0, len(n.table)+len(p.table))
+	merged = append(merged, n.table...)
+	merged = append(merged, p.table...)
+	n.table = append(n.table[:0], merged...)
+	n.normalize()
+	p.table = append(p.table[:0], merged...)
+	p.normalize()
+}
+
+// Best returns the host's current best candidate.
+func (n *Node) Best() Candidate { return n.table[0] }
+
+// Estimate implements gossip.Agent: the best live candidate's value.
+func (n *Node) Estimate() (float64, bool) {
+	if len(n.table) == 0 {
+		return 0, false
+	}
+	return n.table[0].Value, true
+}

@@ -1,0 +1,142 @@
+package invertavg
+
+import (
+	"math"
+	"testing"
+
+	"dynagg/internal/env"
+	"dynagg/internal/gossip"
+	"dynagg/internal/protocol/pushsumrevert"
+	"dynagg/internal/protocol/sketchreset"
+	"dynagg/internal/sketch"
+)
+
+func build(t *testing.T, values []float64, lambda float64, pushPull bool, seed uint64) (*gossip.Engine, *env.Uniform) {
+	t.Helper()
+	e := env.NewUniform(len(values))
+	model := gossip.Push
+	if pushPull {
+		model = gossip.PushPull
+	}
+	agents := make([]gossip.Agent, len(values))
+	for i, v := range values {
+		agents[i] = New(gossip.NodeID(i), v,
+			sketchreset.Config{Params: sketch.DefaultParams, Identifiers: 1},
+			pushsumrevert.Config{Lambda: lambda, PushPull: pushPull},
+		)
+	}
+	engine, err := gossip.NewEngine(gossip.Config{Env: e, Agents: agents, Model: model, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine, e
+}
+
+func TestEstimateIsProductOfParts(t *testing.T) {
+	values := make([]float64, 300)
+	for i := range values {
+		values[i] = float64(i % 10)
+	}
+	engine, _ := build(t, values, 0.01, true, 1)
+	engine.Run(20)
+	n := engine.Agents()[0].(*Node)
+	c, okC := n.Count().Estimate()
+	a, okA := n.Avg().Estimate()
+	est, ok := n.Estimate()
+	if !okC || !okA || !ok {
+		t.Fatal("missing sub-estimates")
+	}
+	if math.Abs(est-c*a) > 1e-9 {
+		t.Errorf("estimate %v != count %v × avg %v", est, c, a)
+	}
+}
+
+func TestSumConverges(t *testing.T) {
+	const n = 1000
+	values := make([]float64, n)
+	var want float64
+	for i := range values {
+		values[i] = float64(i % 10)
+		want += values[i]
+	}
+	engine, _ := build(t, values, 0.01, true, 2)
+	engine.Run(25)
+	est, ok := engine.EstimateOf(0)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	// Errors multiply: sketch (±3σ ≈ 30%) times averaging (small).
+	if math.Abs(est-want) > 0.4*want {
+		t.Errorf("sum estimate %v, want %v ± 40%%", est, want)
+	}
+}
+
+// After correlated failures both halves self-heal, so the sum estimate
+// tracks the survivors.
+func TestSumRecoversAfterFailure(t *testing.T) {
+	const n = 1000
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i % 10)
+	}
+	engine, e := build(t, values, 0.1, true, 3)
+	engine.Run(20)
+	// Fail the top-valued half (every value >= 5).
+	var want float64
+	for i, v := range values {
+		if v >= 5 {
+			e.Population.Fail(gossip.NodeID(i))
+		} else {
+			want += v
+		}
+	}
+	engine.Run(40)
+	ests := engine.Estimates()
+	var mean float64
+	for _, v := range ests {
+		mean += v
+	}
+	mean /= float64(len(ests))
+	if math.Abs(mean-want) > 0.5*want {
+		t.Errorf("post-failure sum estimate %v, want ≈ %v", mean, want)
+	}
+}
+
+func TestPushModeRuns(t *testing.T) {
+	values := make([]float64, 200)
+	for i := range values {
+		values[i] = 5
+	}
+	engine, _ := build(t, values, 0.01, false, 4)
+	engine.Run(20)
+	est, ok := engine.EstimateOf(0)
+	if !ok {
+		t.Fatal("no estimate under push model")
+	}
+	want := 5.0 * 200
+	if math.Abs(est-want) > 0.5*want {
+		t.Errorf("push-mode sum estimate %v, want ≈ %v", est, want)
+	}
+}
+
+func TestEstimatesFinite(t *testing.T) {
+	values := make([]float64, 100)
+	engine, _ := build(t, values, 0.5, true, 5)
+	engine.Run(10)
+	for id, a := range engine.Agents() {
+		est, ok := a.Estimate()
+		if !ok {
+			continue
+		}
+		if math.IsNaN(est) || math.IsInf(est, 0) {
+			t.Errorf("host %d estimate %v not finite", id, est)
+		}
+	}
+}
+
+func TestDefaultIdentifiers(t *testing.T) {
+	n := New(0, 1, sketchreset.Config{Params: sketch.DefaultParams}, pushsumrevert.Config{})
+	if n.Count().Owned() < 1 {
+		t.Error("default Identifiers did not register an identifier")
+	}
+}

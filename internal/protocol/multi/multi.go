@@ -1,0 +1,220 @@
+// Package multi implements the full Invert-Average deployment of the
+// paper's Figure 7: one Count-Sketch-Reset instance amortized over any
+// number of named Push-Sum-Revert aggregates.
+//
+//  1. Compute netsize_t := Count-Sketch-Reset()
+//  2. For each desired value v, compute A_v,t := Push-Sum-Revert(v)
+//  3. Estimate_v,t := A_v,t × netsize_t
+//
+// This is the arrangement §IV-B argues for: the counter matrix is by
+// far the most expensive payload (see internal/wire and ablation A9),
+// and its cost is paid once no matter how many sums ride on top. Each
+// additional aggregate costs two floats per message.
+//
+// Every named aggregate yields both a running average (the raw
+// Push-Sum-Revert estimate) and a running sum (average × size).
+package multi
+
+import (
+	"fmt"
+	"sort"
+
+	"dynagg/internal/gossip"
+	"dynagg/internal/protocol/pushsumrevert"
+	"dynagg/internal/protocol/sketchreset"
+	"dynagg/internal/xrand"
+)
+
+// payload routes sub-protocol messages: the sketch matrix and one mass
+// per named aggregate.
+type payload struct {
+	count  any            // sketchreset payload, or nil
+	masses map[string]any // pushsumrevert payloads by aggregate name
+}
+
+// Node runs one Count-Sketch-Reset host plus one Push-Sum-Revert host
+// per named aggregate at the same simulated device.
+type Node struct {
+	id    gossip.NodeID
+	count *sketchreset.Node
+	aggs  map[string]*pushsumrevert.Node
+	names []string // sorted, for deterministic iteration
+}
+
+var (
+	_ gossip.Agent     = (*Node)(nil)
+	_ gossip.Exchanger = (*Node)(nil)
+)
+
+// New returns a multi-aggregate host. values maps aggregate names to
+// this host's data value for that aggregate; all hosts must register
+// the same name set.
+func New(id gossip.NodeID, values map[string]float64, countCfg sketchreset.Config, avgCfg pushsumrevert.Config) *Node {
+	if len(values) == 0 {
+		panic("multi: no aggregates registered")
+	}
+	if countCfg.Identifiers == 0 {
+		countCfg.Identifiers = 1
+	}
+	n := &Node{
+		id:    id,
+		count: sketchreset.New(id, countCfg),
+		aggs:  make(map[string]*pushsumrevert.Node, len(values)),
+	}
+	for name, v := range values {
+		n.aggs[name] = pushsumrevert.New(id, v, avgCfg)
+		n.names = append(n.names, name)
+	}
+	sort.Strings(n.names)
+	return n
+}
+
+// ID returns the host id.
+func (n *Node) ID() gossip.NodeID { return n.id }
+
+// Names returns the registered aggregate names in sorted order.
+func (n *Node) Names() []string {
+	out := make([]string, len(n.names))
+	copy(out, n.names)
+	return out
+}
+
+// Count exposes the shared Count-Sketch-Reset host.
+func (n *Node) Count() *sketchreset.Node { return n.count }
+
+// Agg exposes the Push-Sum-Revert host for one aggregate.
+func (n *Node) Agg(name string) (*pushsumrevert.Node, bool) {
+	a, ok := n.aggs[name]
+	return a, ok
+}
+
+// BeginRound implements gossip.Agent.
+func (n *Node) BeginRound(round int) {
+	n.count.BeginRound(round)
+	for _, name := range n.names {
+		n.aggs[name].BeginRound(round)
+	}
+}
+
+// Emit implements gossip.Agent. All sub-protocols address the same
+// peer per envelope slot so the combined state travels as one radio
+// message; the sketch payload rides with the first aggregate's.
+func (n *Node) Emit(round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip.Envelope {
+	// Pick one peer for the bundle; Push-Sum-Revert's self-share still
+	// goes home.
+	type bundle struct {
+		to     gossip.NodeID
+		masses map[string]any
+	}
+	bundles := make(map[gossip.NodeID]*bundle)
+	get := func(to gossip.NodeID) *bundle {
+		b, ok := bundles[to]
+		if !ok {
+			b = &bundle{to: to, masses: make(map[string]any)}
+			bundles[to] = b
+		}
+		return b
+	}
+	// All aggregates share one peer choice per round: draw it once and
+	// serve it to every sub-protocol.
+	var chosen gossip.NodeID
+	havePeer := false
+	sharedPick := func() (gossip.NodeID, bool) {
+		if !havePeer {
+			chosen, havePeer = pick()
+			if !havePeer {
+				return 0, false
+			}
+		}
+		return chosen, true
+	}
+	for _, name := range n.names {
+		for _, env := range n.aggs[name].Emit(round, rng, sharedPick) {
+			get(env.To).masses[name] = env.Payload
+		}
+	}
+	for _, env := range n.count.Emit(round, rng, sharedPick) {
+		// The sketch payload attaches to its destination's bundle.
+		get(env.To).masses["\x00sketch"] = env.Payload
+	}
+	out := make([]gossip.Envelope, 0, len(bundles))
+	for to, b := range bundles {
+		p := payload{masses: make(map[string]any, len(b.masses))}
+		for name, m := range b.masses {
+			if name == "\x00sketch" {
+				p.count = m
+				continue
+			}
+			p.masses[name] = m
+		}
+		out = append(out, gossip.Envelope{To: to, Payload: p})
+	}
+	// Deterministic envelope order (map iteration is random).
+	sort.Slice(out, func(i, j int) bool { return out[i].To < out[j].To })
+	return out
+}
+
+// Receive implements gossip.Agent.
+func (n *Node) Receive(p any) {
+	pl, ok := p.(payload)
+	if !ok {
+		panic(fmt.Sprintf("multi: unexpected payload %T", p))
+	}
+	if pl.count != nil {
+		n.count.Receive(pl.count)
+	}
+	for name, m := range pl.masses {
+		if agg, ok := n.aggs[name]; ok {
+			agg.Receive(m)
+		}
+	}
+}
+
+// EndRound implements gossip.Agent.
+func (n *Node) EndRound(round int) {
+	n.count.EndRound(round)
+	for _, name := range n.names {
+		n.aggs[name].EndRound(round)
+	}
+}
+
+// Exchange implements gossip.Exchanger: all sub-protocols exchange
+// with the same peer.
+func (n *Node) Exchange(peer gossip.Exchanger) {
+	p := peer.(*Node)
+	n.count.Exchange(p.count)
+	for _, name := range n.names {
+		if other, ok := p.aggs[name]; ok {
+			n.aggs[name].Exchange(other)
+		}
+	}
+}
+
+// Size returns the host's running network-size estimate.
+func (n *Node) Size() (float64, bool) { return n.count.Estimate() }
+
+// Average returns the host's running average estimate for one named
+// aggregate.
+func (n *Node) Average(name string) (float64, bool) {
+	agg, ok := n.aggs[name]
+	if !ok {
+		return 0, false
+	}
+	return agg.Estimate()
+}
+
+// Sum returns the host's running sum estimate for one named aggregate:
+// average × network size (Figure 7 step 3).
+func (n *Node) Sum(name string) (float64, bool) {
+	avg, ok1 := n.Average(name)
+	size, ok2 := n.Size()
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	return avg * size, true
+}
+
+// Estimate implements gossip.Agent, reporting the network-size
+// estimate (the only aggregate every Node shares); named aggregates
+// are read through Average and Sum.
+func (n *Node) Estimate() (float64, bool) { return n.Size() }

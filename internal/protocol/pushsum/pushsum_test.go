@@ -1,0 +1,275 @@
+package pushsum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dynagg/internal/env"
+	"dynagg/internal/gossip"
+)
+
+func buildAverage(t *testing.T, values []float64, model gossip.Model, seed uint64) (*gossip.Engine, *env.Uniform) {
+	t.Helper()
+	e := env.NewUniform(len(values))
+	agents := make([]gossip.Agent, len(values))
+	for i, v := range values {
+		agents[i] = NewAverage(gossip.NodeID(i), v)
+	}
+	engine, err := gossip.NewEngine(gossip.Config{Env: e, Agents: agents, Model: model, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine, e
+}
+
+func totalMass(engine *gossip.Engine) (w, v float64) {
+	for _, a := range engine.Agents() {
+		m := a.(*Node).Mass()
+		w += m.W
+		v += m.V
+	}
+	return w, v
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestConstructors(t *testing.T) {
+	a := NewAverage(3, 42)
+	if a.ID() != 3 {
+		t.Errorf("ID = %d, want 3", a.ID())
+	}
+	if m := a.Mass(); m.W != 1 || m.V != 42 {
+		t.Errorf("average mass = %+v, want {1 42}", m)
+	}
+	if est, ok := a.Estimate(); !ok || est != 42 {
+		t.Errorf("initial estimate = %v, %v; want 42, true", est, ok)
+	}
+
+	c := NewCount(0, true)
+	if m := c.Mass(); m.W != 1 || m.V != 1 {
+		t.Errorf("initiator count mass = %+v, want {1 1}", m)
+	}
+	c2 := NewCount(1, false)
+	if m := c2.Mass(); m.W != 0 || m.V != 1 {
+		t.Errorf("non-initiator count mass = %+v, want {0 1}", m)
+	}
+	if _, ok := c2.Estimate(); ok {
+		t.Error("zero-weight host reported an estimate")
+	}
+
+	s := NewSum(0, 7, false)
+	if m := s.Mass(); m.W != 0 || m.V != 7 {
+		t.Errorf("sum mass = %+v, want {0 7}", m)
+	}
+}
+
+// Conservation of mass: any number of push rounds leaves Σw and Σv
+// unchanged, for arbitrary initial values.
+func TestConservationOfMassPush(t *testing.T) {
+	prop := func(raw []int8, seed uint64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		values := make([]float64, len(raw))
+		for i, r := range raw {
+			values[i] = float64(r)
+		}
+		e := env.NewUniform(len(values))
+		agents := make([]gossip.Agent, len(values))
+		for i, v := range values {
+			agents[i] = NewAverage(gossip.NodeID(i), v)
+		}
+		engine, err := gossip.NewEngine(gossip.Config{Env: e, Agents: agents, Model: gossip.Push, Seed: seed})
+		if err != nil {
+			return false
+		}
+		wantW, wantV := totalMass(engine)
+		engine.Run(8)
+		gotW, gotV := totalMass(engine)
+		return math.Abs(gotW-wantW) < 1e-6*(1+math.Abs(wantW)) &&
+			math.Abs(gotV-wantV) < 1e-6*(1+math.Abs(wantV))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Conservation of mass holds under push/pull exchanges too.
+func TestConservationOfMassPushPull(t *testing.T) {
+	engine, _ := buildAverage(t, []float64{1, 2, 3, 4, 5, 100, -7, 0.5}, gossip.PushPull, 9)
+	wantW, wantV := totalMass(engine)
+	engine.Run(20)
+	gotW, gotV := totalMass(engine)
+	if math.Abs(gotW-wantW) > 1e-9 || math.Abs(gotV-wantV) > 1e-9 {
+		t.Errorf("mass drifted: (%v,%v) -> (%v,%v)", wantW, wantV, gotW, gotV)
+	}
+}
+
+func TestAverageConvergencePush(t *testing.T) {
+	values := make([]float64, 200)
+	for i := range values {
+		values[i] = float64(i % 50)
+	}
+	engine, _ := buildAverage(t, values, gossip.Push, 1)
+	engine.Run(40)
+	truth := mean(values)
+	for id, a := range engine.Agents() {
+		est, ok := a.Estimate()
+		if !ok {
+			t.Fatalf("host %d has no estimate", id)
+		}
+		if math.Abs(est-truth) > 0.05 {
+			t.Errorf("host %d estimate %v, want ≈ %v", id, est, truth)
+		}
+	}
+}
+
+func TestAverageConvergencePushPull(t *testing.T) {
+	values := make([]float64, 200)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	engine, _ := buildAverage(t, values, gossip.PushPull, 2)
+	engine.Run(40)
+	truth := mean(values)
+	for id, a := range engine.Agents() {
+		est, _ := a.Estimate()
+		if math.Abs(est-truth) > 0.5 {
+			t.Errorf("host %d estimate %v, want ≈ %v", id, est, truth)
+		}
+	}
+}
+
+// Push/pull should converge roughly twice as fast as push (Karp et
+// al.); assert it is at least no slower at matched round counts.
+func TestPushPullNoSlowerThanPush(t *testing.T) {
+	values := make([]float64, 500)
+	for i := range values {
+		values[i] = float64(i % 100)
+	}
+	truth := mean(values)
+	devAfter := func(model gossip.Model) float64 {
+		engine, _ := buildAverage(t, values, model, 3)
+		engine.Run(12)
+		var worst float64
+		for _, a := range engine.Agents() {
+			est, _ := a.Estimate()
+			if d := math.Abs(est - truth); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	push := devAfter(gossip.Push)
+	pull := devAfter(gossip.PushPull)
+	if pull > push*1.5 {
+		t.Errorf("push/pull worst error %v much larger than push %v", pull, push)
+	}
+}
+
+func TestCountMode(t *testing.T) {
+	const n = 300
+	e := env.NewUniform(n)
+	agents := make([]gossip.Agent, n)
+	for i := 0; i < n; i++ {
+		agents[i] = NewCount(gossip.NodeID(i), i == 0)
+	}
+	engine, err := gossip.NewEngine(gossip.Config{Env: e, Agents: agents, Model: gossip.Push, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Run(60)
+	for id, a := range engine.Agents() {
+		est, ok := a.Estimate()
+		if !ok {
+			continue // hosts that never saw weight cannot estimate
+		}
+		if math.Abs(est-n) > 0.05*n {
+			t.Errorf("host %d count estimate %v, want ≈ %d", id, est, n)
+		}
+	}
+	if est, ok := engine.EstimateOf(0); !ok || math.Abs(est-n) > 0.05*n {
+		t.Errorf("initiator estimate %v, %v; want ≈ %d", est, ok, n)
+	}
+}
+
+func TestSumMode(t *testing.T) {
+	const n = 300
+	e := env.NewUniform(n)
+	agents := make([]gossip.Agent, n)
+	var want float64
+	for i := 0; i < n; i++ {
+		v := float64(i % 10)
+		want += v
+		agents[i] = NewSum(gossip.NodeID(i), v, i == 0)
+	}
+	engine, err := gossip.NewEngine(gossip.Config{Env: e, Agents: agents, Model: gossip.Push, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Run(60)
+	if est, ok := engine.EstimateOf(0); !ok || math.Abs(est-want) > 0.05*want {
+		t.Errorf("sum estimate %v, %v; want ≈ %v", est, ok, want)
+	}
+}
+
+// An isolated host keeps its whole mass and its estimate intact.
+func TestIsolatedHostRetainsMass(t *testing.T) {
+	n := NewAverage(0, 10)
+	n.BeginRound(0)
+	envs := n.Emit(0, nil, func() (gossip.NodeID, bool) { return 0, false })
+	if len(envs) != 1 || envs[0].To != 0 {
+		t.Fatalf("isolated emit = %+v, want one self-envelope", envs)
+	}
+	n.Receive(envs[0].Payload)
+	n.EndRound(0)
+	if m := n.Mass(); m.W != 1 || m.V != 10 {
+		t.Errorf("mass after isolated round = %+v, want {1 10}", m)
+	}
+	if est, _ := n.Estimate(); est != 10 {
+		t.Errorf("estimate = %v, want 10", est)
+	}
+}
+
+// Exchange leaves both ends with the pairwise mean: the zero-sum
+// half-difference transfer.
+func TestExchangeAverages(t *testing.T) {
+	a := NewAverage(0, 0)
+	b := NewAverage(1, 10)
+	a.Exchange(b)
+	if m := a.Mass(); m.W != 1 || m.V != 5 {
+		t.Errorf("a mass = %+v, want {1 5}", m)
+	}
+	if m := b.Mass(); m.W != 1 || m.V != 5 {
+		t.Errorf("b mass = %+v, want {1 5}", m)
+	}
+	ea, _ := a.Estimate()
+	eb, _ := b.Estimate()
+	if ea != 5 || eb != 5 {
+		t.Errorf("estimates after exchange = %v, %v; want 5, 5", ea, eb)
+	}
+}
+
+// A host that receives nothing in a push round (and sent its mass away)
+// must not fabricate mass.
+func TestNoReceiptKeepsOldMass(t *testing.T) {
+	n := NewAverage(0, 8)
+	n.BeginRound(0)
+	// Emit to a peer; self-share is not delivered in this synthetic
+	// scenario (it would be in the real engine).
+	_ = n.Emit(0, nil, func() (gossip.NodeID, bool) { return 1, true })
+	n.EndRound(0)
+	if m := n.Mass(); m.W != 1 || m.V != 8 {
+		t.Errorf("mass fabricated or lost: %+v", m)
+	}
+}

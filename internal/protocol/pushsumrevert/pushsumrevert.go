@@ -1,0 +1,310 @@
+// Package pushsumrevert implements the paper's first contribution:
+// Push-Sum-Revert (§III), a dynamic distributed-averaging protocol
+// that maintains a running estimate under silent host departures.
+//
+// After every gossip exchange, each host decays its mass vector toward
+// its initial mass by a reversion constant λ:
+//
+//	w ← λ·1  + (1−λ)·Σŵ
+//	v ← λ·v₀ + (1−λ)·Σv̂
+//
+// With a static node set the Revert step conserves mass exactly (§III
+// proves Σ revert(vᵢ) = Σ vᵢ), so the protocol behaves like Push-Sum.
+// When hosts vanish and take mass with them, the reversion regenerates
+// mass from the survivors' initial values, pulling the system back to
+// the true average of the *remaining* hosts. Larger λ reconverges
+// faster but leaves a larger steady-state error (Figure 10a).
+//
+// Three optimizations from §III-A are implemented:
+//
+//   - Full-Transfer: a host exports its entire mass each round as N
+//     parcels to independently chosen peers and estimates from the sum
+//     of the last T rounds in which it received mass. Removing the
+//     retained self-share removes the estimate's bias toward the local
+//     initial value (Figure 10b).
+//   - Push/pull exchange: pairwise mass averaging (Karp et al.),
+//     roughly halving initial convergence; λ reversion is applied once
+//     per round at round end.
+//   - Adaptive λ: instead of a fixed λ once per round, add λ/2 of the
+//     initial mass per message received (including the self message).
+//     Hosts with high indegree — which receive extra mass that works
+//     against reversion — revert proportionally harder; expected total
+//     reversion stays λ per round.
+package pushsumrevert
+
+import (
+	"fmt"
+
+	"dynagg/internal/gossip"
+	"dynagg/internal/xrand"
+)
+
+// Mass is the gossiped (weight, value) vector.
+type Mass struct {
+	W float64
+	V float64
+}
+
+// Config selects the protocol variant.
+type Config struct {
+	// Lambda is the reversion constant λ ∈ [0, 1]. Zero reproduces
+	// static Push-Sum exactly.
+	Lambda float64
+	// Weight is the host's initial weight w₀; zero means 1. With
+	// non-uniform weights the network converges on the weighted
+	// average Σwᵢvᵢ/Σwᵢ (Kempe et al.'s weighted averaging, which the
+	// paper builds on), and the reversion decays toward (w₀, w₀·v₀)
+	// so the weighting survives departures.
+	Weight float64
+	// FullTransfer enables the §III-A optimization: export all mass
+	// each round in Parcels parcels and estimate over a Window of
+	// recent rounds.
+	FullTransfer bool
+	// Parcels is the number of mass parcels N under Full-Transfer
+	// (the paper's Figure 10b uses 4). Ignored otherwise.
+	Parcels int
+	// Window is the number of recent mass-bearing rounds T averaged
+	// into the estimate under Full-Transfer (the paper uses 3).
+	Window int
+	// Adaptive enables indegree-scaled reversion (push model only).
+	Adaptive bool
+	// PushPull declares that the node will be driven by the engine's
+	// push/pull model (pairwise Exchange calls) rather than push
+	// emission. The reversion step then runs once per round at round
+	// end. Figures 8 and 10a use this mode.
+	PushPull bool
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Lambda < 0 || c.Lambda > 1 {
+		return fmt.Errorf("pushsumrevert: Lambda %v outside [0,1]", c.Lambda)
+	}
+	if c.Weight < 0 {
+		return fmt.Errorf("pushsumrevert: negative Weight %v", c.Weight)
+	}
+	if c.FullTransfer {
+		if c.Parcels < 1 {
+			return fmt.Errorf("pushsumrevert: FullTransfer needs Parcels >= 1, got %d", c.Parcels)
+		}
+		if c.Window < 1 {
+			return fmt.Errorf("pushsumrevert: FullTransfer needs Window >= 1, got %d", c.Window)
+		}
+		if c.Adaptive {
+			return fmt.Errorf("pushsumrevert: FullTransfer and Adaptive are mutually exclusive")
+		}
+		if c.PushPull {
+			return fmt.Errorf("pushsumrevert: FullTransfer and PushPull are mutually exclusive")
+		}
+	}
+	if c.Adaptive && c.PushPull {
+		return fmt.Errorf("pushsumrevert: Adaptive and PushPull are mutually exclusive")
+	}
+	return nil
+}
+
+// Node is one Push-Sum-Revert host.
+type Node struct {
+	id  gossip.NodeID
+	cfg Config
+	v0  float64
+	w0  float64
+	mv0 float64 // initial value mass w₀·v₀, the reversion target for v
+
+	w, v float64
+
+	inW, inV float64
+	inMsgs   int
+
+	// Full-Transfer estimate window: the last Window rounds in which
+	// mass arrived, as a ring buffer.
+	histW, histV []float64
+	histPos      int
+	histLen      int
+
+	est    float64
+	hasEst bool
+}
+
+var (
+	_ gossip.Agent     = (*Node)(nil)
+	_ gossip.Exchanger = (*Node)(nil)
+)
+
+// New returns a Push-Sum-Revert host with data value v0.
+func New(id gossip.NodeID, v0 float64, cfg Config) *Node {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	w0 := cfg.Weight
+	if w0 == 0 {
+		w0 = 1
+	}
+	n := &Node{id: id, cfg: cfg, v0: v0, w0: w0, mv0: w0 * v0, w: w0, v: w0 * v0}
+	if cfg.FullTransfer {
+		n.histW = make([]float64, cfg.Window)
+		n.histV = make([]float64, cfg.Window)
+	}
+	n.est = v0
+	n.hasEst = true
+	return n
+}
+
+// ID returns the host id.
+func (n *Node) ID() gossip.NodeID { return n.id }
+
+// Value returns the host's initial data value v₀.
+func (n *Node) Value() float64 { return n.v0 }
+
+// Weight returns the host's initial weight w₀.
+func (n *Node) Weight() float64 { return n.w0 }
+
+// Mass returns the host's current mass vector.
+func (n *Node) Mass() Mass { return Mass{W: n.w, V: n.v} }
+
+// Config returns the node's configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// BeginRound implements gossip.Agent.
+func (n *Node) BeginRound(round int) {
+	n.inW, n.inV = 0, 0
+	n.inMsgs = 0
+}
+
+// Emit implements gossip.Agent.
+func (n *Node) Emit(round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip.Envelope {
+	λ := n.cfg.Lambda
+	if n.cfg.FullTransfer {
+		// Figure 4: the entire (reverted) mass leaves as N parcels to
+		// independently selected peers; nothing is retained.
+		N := n.cfg.Parcels
+		parcel := Mass{
+			W: ((1-λ)*n.w + λ*n.w0) / float64(N),
+			V: ((1-λ)*n.v + λ*n.mv0) / float64(N),
+		}
+		out := make([]gossip.Envelope, 0, N)
+		for i := 0; i < N; i++ {
+			if peer, ok := pick(); ok {
+				out = append(out, gossip.Envelope{To: peer, Payload: parcel})
+			} else {
+				// No reachable peer: this parcel stays home rather
+				// than evaporating.
+				out = append(out, gossip.Envelope{To: n.id, Payload: parcel})
+			}
+		}
+		return out
+	}
+	if n.cfg.Adaptive {
+		// Reversion is applied on receipt, scaled by indegree; the
+		// message itself is plain Push-Sum mass.
+		half := Mass{W: n.w / 2, V: n.v / 2}
+		peer, ok := pick()
+		if !ok {
+			return []gossip.Envelope{{To: n.id, Payload: Mass{W: n.w, V: n.v}}}
+		}
+		return []gossip.Envelope{
+			{To: peer, Payload: half},
+			{To: n.id, Payload: half},
+		}
+	}
+	// Figure 3: the reverted mass is split between peer and self.
+	half := Mass{
+		W: ((1-λ)*n.w + λ*n.w0) / 2,
+		V: ((1-λ)*n.v + λ*n.mv0) / 2,
+	}
+	peer, ok := pick()
+	if !ok {
+		whole := Mass{W: 2 * half.W, V: 2 * half.V}
+		return []gossip.Envelope{{To: n.id, Payload: whole}}
+	}
+	return []gossip.Envelope{
+		{To: peer, Payload: half},
+		{To: n.id, Payload: half},
+	}
+}
+
+// Receive implements gossip.Agent.
+func (n *Node) Receive(payload any) {
+	m := payload.(Mass)
+	if n.cfg.Adaptive {
+		// §III-A: add λ/2 of the initial mass per message received,
+		// damping the received mass by (1-λ) so that with the expected
+		// two messages per round the update matches the fixed-λ rule.
+		λ := n.cfg.Lambda
+		n.inW += (1-λ)*m.W + (λ/2)*n.w0
+		n.inV += (1-λ)*m.V + (λ/2)*n.mv0
+	} else {
+		n.inW += m.W
+		n.inV += m.V
+	}
+	n.inMsgs++
+}
+
+// EndRound implements gossip.Agent.
+func (n *Node) EndRound(round int) {
+	if n.cfg.PushPull {
+		// Mass was updated in place by Exchange; apply the reversion
+		// decay exactly once per round.
+		n.endRoundPull()
+		return
+	}
+	if n.cfg.FullTransfer {
+		// The host keeps only what arrived; rounds with no arrivals
+		// leave it empty-handed until the next delivery.
+		n.w, n.v = n.inW, n.inV
+		if n.inMsgs > 0 && n.inW > 0 {
+			n.histW[n.histPos] = n.inW
+			n.histV[n.histPos] = n.inV
+			n.histPos = (n.histPos + 1) % n.cfg.Window
+			if n.histLen < n.cfg.Window {
+				n.histLen++
+			}
+		}
+		n.refreshWindowEstimate()
+		return
+	}
+	n.w, n.v = n.inW, n.inV
+	n.refreshEstimate()
+}
+
+// Exchange implements gossip.Exchanger: pairwise mass averaging.
+// Under push/pull the engine never calls Emit/Receive; EndRound
+// applies the reversion decay to the post-exchange mass.
+func (n *Node) Exchange(peer gossip.Exchanger) {
+	p := peer.(*Node)
+	mw := (n.w + p.w) / 2
+	mv := (n.v + p.v) / 2
+	n.w, p.w = mw, mw
+	n.v, p.v = mv, mv
+}
+
+// endRoundPull applies the once-per-round reversion decay used under
+// the push/pull model.
+func (n *Node) endRoundPull() {
+	λ := n.cfg.Lambda
+	n.w = λ*n.w0 + (1-λ)*n.w
+	n.v = λ*n.mv0 + (1-λ)*n.v
+	n.refreshEstimate()
+}
+
+func (n *Node) refreshEstimate() {
+	if n.w > 1e-12 {
+		n.est = n.v / n.w
+		n.hasEst = true
+	}
+}
+
+func (n *Node) refreshWindowEstimate() {
+	var sw, sv float64
+	for i := 0; i < n.histLen; i++ {
+		sw += n.histW[i]
+		sv += n.histV[i]
+	}
+	if sw > 1e-12 {
+		n.est = sv / sw
+		n.hasEst = true
+	}
+}
+
+// Estimate implements gossip.Agent.
+func (n *Node) Estimate() (float64, bool) { return n.est, n.hasEst }

@@ -1,0 +1,200 @@
+package sketchcount
+
+import (
+	"math"
+	"testing"
+
+	"dynagg/internal/env"
+	"dynagg/internal/gossip"
+	"dynagg/internal/sketch"
+)
+
+func runCount(t *testing.T, n, rounds int, model gossip.Model, seed uint64) *gossip.Engine {
+	t.Helper()
+	e := env.NewUniform(n)
+	agents := make([]gossip.Agent, n)
+	for i := 0; i < n; i++ {
+		agents[i] = NewCount(gossip.NodeID(i), sketch.DefaultParams)
+	}
+	engine, err := gossip.NewEngine(gossip.Config{Env: e, Agents: agents, Model: model, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Run(rounds)
+	return engine
+}
+
+func TestCountConvergesWithinFMError(t *testing.T) {
+	const n = 2000
+	engine := runCount(t, n, 25, gossip.PushPull, 1)
+	tol := 3 * sketch.DefaultParams.ExpectedRelativeError() * n
+	for id, a := range engine.Agents() {
+		est, ok := a.Estimate()
+		if !ok {
+			t.Fatalf("host %d has no estimate", id)
+		}
+		if math.Abs(est-n) > tol {
+			t.Errorf("host %d estimate %v, want %d ± %v", id, est, n, tol)
+		}
+	}
+}
+
+func TestAllHostsAgreeAfterConvergence(t *testing.T) {
+	engine := runCount(t, 500, 25, gossip.PushPull, 2)
+	first, _ := engine.Agents()[0].Estimate()
+	for id, a := range engine.Agents() {
+		est, _ := a.Estimate()
+		if est != first {
+			t.Errorf("host %d estimate %v differs from host 0's %v after convergence", id, est, first)
+		}
+	}
+}
+
+// The static sketch only grows: estimates are monotone non-decreasing
+// round over round at every host.
+func TestEstimateMonotone(t *testing.T) {
+	const n = 500
+	e := env.NewUniform(n)
+	agents := make([]gossip.Agent, n)
+	for i := 0; i < n; i++ {
+		agents[i] = NewCount(gossip.NodeID(i), sketch.DefaultParams)
+	}
+	engine, err := gossip.NewEngine(gossip.Config{Env: e, Agents: agents, Model: gossip.Push, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := make([]float64, n)
+	for r := 0; r < 20; r++ {
+		engine.Step()
+		for id, a := range engine.Agents() {
+			est, _ := a.Estimate()
+			if est < prev[id]-1e-9 {
+				t.Fatalf("host %d estimate decreased %v -> %v at round %d", id, prev[id], est, r)
+			}
+			prev[id] = est
+		}
+	}
+}
+
+// Failures do not decrease the static estimate: the bits of departed
+// hosts persist (the defect Count-Sketch-Reset fixes).
+func TestFailureDoesNotShrinkEstimate(t *testing.T) {
+	const n = 1000
+	e := env.NewUniform(n)
+	agents := make([]gossip.Agent, n)
+	for i := 0; i < n; i++ {
+		agents[i] = NewCount(gossip.NodeID(i), sketch.DefaultParams)
+	}
+	engine, err := gossip.NewEngine(gossip.Config{Env: e, Agents: agents, Model: gossip.PushPull, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Run(20)
+	before, _ := engine.Agents()[0].Estimate()
+	for i := 1; i < n; i += 2 {
+		e.Population.Fail(gossip.NodeID(i))
+	}
+	engine.Run(20)
+	after, _ := engine.Agents()[0].Estimate()
+	if after < before-1e-9 {
+		t.Errorf("static sketch estimate shrank after failures: %v -> %v", before, after)
+	}
+}
+
+func TestSumMode(t *testing.T) {
+	const n = 400
+	e := env.NewUniform(n)
+	agents := make([]gossip.Agent, n)
+	want := 0
+	for i := 0; i < n; i++ {
+		v := i % 8
+		want += v
+		agents[i] = NewSum(gossip.NodeID(i), sketch.DefaultParams, v)
+	}
+	engine, err := gossip.NewEngine(gossip.Config{Env: e, Agents: agents, Model: gossip.PushPull, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Run(25)
+	tol := 3 * sketch.DefaultParams.ExpectedRelativeError() * float64(want)
+	est, ok := engine.Agents()[0].Estimate()
+	if !ok || math.Abs(est-float64(want)) > tol {
+		t.Errorf("sum estimate %v, want %d ± %v", est, want, tol)
+	}
+}
+
+// NewCountScaled inflates identifiers and scales the estimate back:
+// it should still estimate the host count, with lower variance.
+func TestCountScaled(t *testing.T) {
+	const n = 50
+	e := env.NewUniform(n)
+	agents := make([]gossip.Agent, n)
+	for i := 0; i < n; i++ {
+		agents[i] = NewCountScaled(gossip.NodeID(i), sketch.DefaultParams, 100)
+	}
+	engine, err := gossip.NewEngine(gossip.Config{Env: e, Agents: agents, Model: gossip.PushPull, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Run(20)
+	est, ok := engine.Agents()[0].Estimate()
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if math.Abs(est-n) > 0.5*n {
+		t.Errorf("scaled count estimate %v, want ≈ %d", est, n)
+	}
+}
+
+// Duplicate delivery is harmless: merging the same sketch twice changes
+// nothing (OR-idempotence).
+func TestDuplicateInsensitive(t *testing.T) {
+	a := NewCount(0, sketch.DefaultParams)
+	b := NewCount(1, sketch.DefaultParams)
+	payload := b.Sketch().Clone()
+	a.Receive(payload)
+	onceEst, _ := a.Estimate()
+	onceBits := a.Sketch().Bits()
+	a.Receive(payload)
+	a.Receive(payload)
+	twiceEst, _ := a.Estimate()
+	twiceBits := a.Sketch().Bits()
+	if onceEst != twiceEst {
+		t.Errorf("estimate changed on duplicate merge: %v -> %v", onceEst, twiceEst)
+	}
+	for i := range onceBits {
+		if onceBits[i] != twiceBits[i] {
+			t.Errorf("bits changed on duplicate merge at word %d", i)
+		}
+	}
+}
+
+// Exchange leaves both sketches identical (mutual OR).
+func TestExchangeSymmetric(t *testing.T) {
+	a := NewCount(0, sketch.DefaultParams)
+	b := NewCount(1, sketch.DefaultParams)
+	a.Exchange(b)
+	if !a.Sketch().Equal(b.Sketch()) {
+		t.Error("sketches differ after Exchange")
+	}
+	ea, _ := a.Estimate()
+	eb, _ := b.Estimate()
+	if ea != eb {
+		t.Errorf("estimates differ after Exchange: %v vs %v", ea, eb)
+	}
+}
+
+func TestEmitSendsSketchToPeer(t *testing.T) {
+	a := NewCount(0, sketch.DefaultParams)
+	envs := a.Emit(0, nil, func() (gossip.NodeID, bool) { return 7, true })
+	if len(envs) != 1 || envs[0].To != 7 {
+		t.Fatalf("Emit = %+v, want one envelope to 7", envs)
+	}
+	if _, ok := envs[0].Payload.(*sketch.Sketch); !ok {
+		t.Errorf("payload type %T, want *sketch.Sketch", envs[0].Payload)
+	}
+	// Isolated host emits nothing.
+	if envs := a.Emit(0, nil, func() (gossip.NodeID, bool) { return 0, false }); len(envs) != 0 {
+		t.Errorf("isolated Emit = %+v, want none", envs)
+	}
+}

@@ -1,0 +1,276 @@
+// Package sketchreset implements the paper's second contribution:
+// Count-Sketch-Reset (§IV, Figure 5), a dynamic counting protocol.
+//
+// Where Sketch-Count stores a bit per (bin, level), Count-Sketch-Reset
+// stores a saturating *age counter* N[n][k]:
+//
+//   - a host that owns index (n, k) — chosen per the standard FM
+//     distributions — pins its counter at 0, sourcing the bit;
+//   - every other counter is incremented each round and min-merged on
+//     gossip, so a counter's value tracks the gossip distance to the
+//     nearest live source of that bit;
+//   - a bit is considered set iff its counter is at or below a cutoff
+//     f(k). Under uniform gossip the maximum counter of a still-sourced
+//     bit is bounded with high probability by a linear function of k —
+//     the paper derives f(k) = 7 + k/4 experimentally (Figure 6) —
+//     *independent of network size*, because bit k has ~n/2^(k+1)
+//     sources and propagation time grows with the log of the source
+//     fraction, not of n.
+//
+// When every host sourcing a bit departs, the bit's minimum counter
+// starts advancing one per round, crosses the cutoff, and the bit ages
+// out: the count estimate decays back to the live population. This is
+// what the static sketch cannot do.
+//
+// Setting NoDecay (cutoff = ∞) reproduces static Sketch-Count behaviour
+// on the same code path — Figure 9's "propagation limiting off" line.
+package sketchreset
+
+import (
+	"fmt"
+	"math"
+
+	"dynagg/internal/gossip"
+	"dynagg/internal/sketch"
+	"dynagg/internal/xrand"
+)
+
+// Never is the counter sentinel meaning "no source ever heard from":
+// the initialization value ∞ of Figure 5. Real ages saturate at
+// MaxAge so they can never be confused with Never.
+const (
+	Never  = uint8(255)
+	MaxAge = uint8(254)
+)
+
+// DefaultCutoff is the paper's experimentally derived maximum
+// propagation age for bit k under uniform gossip: f(k) = 7 + k/4.
+func DefaultCutoff(k int) float64 { return 7 + float64(k)/4 }
+
+// Config configures a Count-Sketch-Reset host.
+type Config struct {
+	// Params sizes the underlying sketch (bins m × levels L).
+	Params sketch.Params
+	// Cutoff is f(k); nil selects DefaultCutoff.
+	Cutoff func(k int) float64
+	// Identifiers is how many identifiers the host registers: 1 to
+	// count hosts, the host's value to sum values (§IV-B multiple
+	// insertions), or a constant c to sharpen small-network estimates
+	// (the trace runs use 100; Estimate divides by Scale below).
+	Identifiers int
+	// Scale divides the raw estimate; set to Identifiers when using
+	// per-host identifier inflation, or 1 for sums. Zero means 1.
+	Scale float64
+	// NoDecay disables aging (cutoff = ∞): static Sketch-Count
+	// semantics for baseline comparison.
+	NoDecay bool
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.Identifiers < 0 {
+		return fmt.Errorf("sketchreset: negative Identifiers %d", c.Identifiers)
+	}
+	return nil
+}
+
+// Node is one Count-Sketch-Reset host. Its gossip payload is the full
+// counter matrix.
+type Node struct {
+	id  gossip.NodeID
+	cfg Config
+
+	// counters is the m×L age matrix, flattened bin-major.
+	counters []uint8
+	// owned marks the indices this host sources (pinned to 0).
+	owned []int32
+
+	cutoff []float64 // precomputed f(k) per level
+
+	est    float64
+	hasEst bool
+}
+
+var (
+	_ gossip.Agent     = (*Node)(nil)
+	_ gossip.Exchanger = (*Node)(nil)
+)
+
+// New returns a Count-Sketch-Reset host. Identifier placement is
+// deterministic per (host id, identifier index), matching the FM
+// distributions.
+func New(id gossip.NodeID, cfg Config) *Node {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Cutoff == nil {
+		cfg.Cutoff = DefaultCutoff
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	p := cfg.Params
+	n := &Node{
+		id:       id,
+		cfg:      cfg,
+		counters: make([]uint8, p.Bins*p.Levels),
+		cutoff:   make([]float64, p.Levels),
+	}
+	for i := range n.counters {
+		n.counters[i] = Never
+	}
+	for k := 0; k < p.Levels; k++ {
+		if cfg.NoDecay {
+			n.cutoff[k] = math.Inf(1)
+		} else {
+			n.cutoff[k] = cfg.Cutoff(k)
+		}
+	}
+	seen := make(map[int32]bool)
+	for j := 0; j < cfg.Identifiers; j++ {
+		pos := p.Place((uint64(id)+1)<<20 | uint64(j))
+		idx := int32(pos.Bin*p.Levels + pos.Level)
+		if !seen[idx] {
+			seen[idx] = true
+			n.owned = append(n.owned, idx)
+		}
+		n.counters[idx] = 0
+	}
+	n.refreshEstimate()
+	return n
+}
+
+// ID returns the host id.
+func (n *Node) ID() gossip.NodeID { return n.id }
+
+// Owned returns the number of distinct (bin, level) indices this host
+// sources.
+func (n *Node) Owned() int { return len(n.owned) }
+
+// CounterAt returns the age counter at (bin, level).
+func (n *Node) CounterAt(bin, level int) uint8 {
+	return n.counters[bin*n.cfg.Params.Levels+level]
+}
+
+// BeginRound implements gossip.Agent: age every counter the host does
+// not source (Figure 5 step 2).
+func (n *Node) BeginRound(round int) {
+	n.age()
+}
+
+// age increments all non-owned counters, saturating at MaxAge.
+func (n *Node) age() {
+	for i, c := range n.counters {
+		if c < MaxAge {
+			n.counters[i] = c + 1
+		}
+	}
+	// Owned counters are pinned back to zero (cheaper than testing
+	// ownership in the hot loop).
+	for _, idx := range n.owned {
+		n.counters[idx] = 0
+	}
+}
+
+// Emit implements gossip.Agent: the aged counter matrix goes to one
+// random peer (Figure 5 step 3; the self-copy is the identity under
+// min-merge and is elided).
+func (n *Node) Emit(round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip.Envelope {
+	peer, ok := pick()
+	if !ok {
+		return nil
+	}
+	snapshot := make([]uint8, len(n.counters))
+	copy(snapshot, n.counters)
+	return []gossip.Envelope{{To: peer, Payload: snapshot}}
+}
+
+// Receive implements gossip.Agent: element-wise min (Figure 5 step 5).
+// Min-merge is order-insensitive and idempotent, so merging on arrival
+// is safe under the engine's emit-then-deliver ordering.
+func (n *Node) Receive(payload any) {
+	n.minMerge(payload.([]uint8))
+}
+
+func (n *Node) minMerge(other []uint8) {
+	for i, c := range other {
+		if c < n.counters[i] {
+			n.counters[i] = c
+		}
+	}
+	for _, idx := range n.owned {
+		n.counters[idx] = 0
+	}
+}
+
+// EndRound implements gossip.Agent (Figure 5 steps 6-7).
+func (n *Node) EndRound(round int) {
+	n.refreshEstimate()
+}
+
+// Exchange implements gossip.Exchanger: mutual min-merge ("the peer
+// can also respond by sending its own array"), after which both
+// matrices agree except at owned indices.
+func (n *Node) Exchange(peer gossip.Exchanger) {
+	p := peer.(*Node)
+	for i := range n.counters {
+		m := n.counters[i]
+		if p.counters[i] < m {
+			m = p.counters[i]
+		}
+		n.counters[i] = m
+		p.counters[i] = m
+	}
+	for _, idx := range n.owned {
+		n.counters[idx] = 0
+	}
+	for _, idx := range p.owned {
+		p.counters[idx] = 0
+	}
+}
+
+// refreshEstimate derives the bit array (bit k set iff its age is at
+// or below f(k)), applies Flajolet-Martin's R per bin, and estimates
+// m·2^avg(R)/ϕ, scaled by the identifier inflation factor.
+func (n *Node) refreshEstimate() {
+	p := n.cfg.Params
+	any := false
+	var sumR int
+	for bin := 0; bin < p.Bins; bin++ {
+		base := bin * p.Levels
+		r := 0
+		for k := 0; k < p.Levels; k++ {
+			c := n.counters[base+k]
+			if c != Never && float64(c) <= n.cutoff[k] {
+				r++
+				any = true
+			} else {
+				break
+			}
+		}
+		// Bits beyond the first unset bit may still be set; R only
+		// counts the contiguous prefix, exactly as in the bit sketch.
+		sumR += r
+	}
+	if !any {
+		n.est = 0
+		n.hasEst = true
+		return
+	}
+	avgR := float64(sumR) / float64(p.Bins)
+	n.est = float64(p.Bins) * math.Exp2(avgR) / sketch.Phi / n.cfg.Scale
+	n.hasEst = true
+}
+
+// Estimate implements gossip.Agent.
+func (n *Node) Estimate() (float64, bool) { return n.est, n.hasEst }
+
+// BitSet reports whether the derived bit at (bin, level) is currently
+// considered set (age within cutoff).
+func (n *Node) BitSet(bin, level int) bool {
+	c := n.CounterAt(bin, level)
+	return c != Never && float64(c) <= n.cutoff[level]
+}

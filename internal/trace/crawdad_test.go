@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReadContactsBasic(t *testing.T) {
+	src := `
+# CRAWDAD-style contact table: a b start end
+1 2 0 100
+1 3 50 150
+2 3 200 300
+`
+	tr, err := ReadContacts("haggle-test", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "haggle-test" {
+		t.Errorf("Name = %q", tr.Name)
+	}
+	if tr.N != 3 {
+		t.Errorf("N = %d, want 3 (dense renumbering)", tr.N)
+	}
+	if tr.Duration != 300*time.Second {
+		t.Errorf("Duration = %v, want 300s", tr.Duration)
+	}
+	if len(tr.Events) != 6 {
+		t.Fatalf("%d events, want 6 (3 contacts × up+down)", len(tr.Events))
+	}
+
+	// Replay and spot-check connectivity.
+	c := NewCursor(tr)
+	c.AdvanceTo(60 * time.Second)
+	if !c.Connected(0, 1) || !c.Connected(0, 2) {
+		t.Error("expected device 0 connected to both 1 and 2 at t=60")
+	}
+	c.AdvanceTo(160 * time.Second)
+	if c.Degree(0) != 0 {
+		t.Errorf("device 0 degree %d at t=160, want 0", c.Degree(0))
+	}
+	c.AdvanceTo(250 * time.Second)
+	if !c.Connected(1, 2) {
+		t.Error("devices 1 and 2 not connected at t=250")
+	}
+}
+
+func TestReadContactsMergesOverlaps(t *testing.T) {
+	// Two overlapping sightings and one touching: a single link episode.
+	src := "1 2 0 100\n1 2 50 120\n1 2 120 200\n"
+	tr, err := ReadContacts("merge", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 2 {
+		t.Fatalf("%d events, want 2 (merged into one interval)", len(tr.Events))
+	}
+	if tr.Events[0].At != 0 || tr.Events[1].At != 200*time.Second {
+		t.Errorf("merged interval = [%v, %v], want [0s, 200s]", tr.Events[0].At, tr.Events[1].At)
+	}
+}
+
+func TestReadContactsZeroLength(t *testing.T) {
+	src := "1 2 10 10\n"
+	tr, err := ReadContacts("zero", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 2 {
+		t.Fatalf("%d events, want 2", len(tr.Events))
+	}
+	if !tr.Events[0].Up || tr.Events[1].Up {
+		t.Error("zero-length contact must be up then down")
+	}
+}
+
+func TestReadContactsIgnoresSelfAndExtras(t *testing.T) {
+	src := "5 5 0 10\n1 2 0 10 0.5 extra fields here\n"
+	tr, err := ReadContacts("extras", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N != 2 || len(tr.Events) != 2 {
+		t.Errorf("N=%d events=%d, want 2 and 2", tr.N, len(tr.Events))
+	}
+}
+
+func TestReadContactsDenseRenumbering(t *testing.T) {
+	// CRAWDAD numbers devices from 1 with gaps; ids must densify in
+	// first-appearance order.
+	src := "7 3 0 10\n3 99 20 30\n"
+	tr, err := ReadContacts("renumber", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N != 3 {
+		t.Fatalf("N = %d, want 3", tr.N)
+	}
+	// 7→0, 3→1, 99→2: first contact links 0-1, second links 1-2.
+	c := NewCursor(tr)
+	c.AdvanceTo(5 * time.Second)
+	if !c.Connected(0, 1) {
+		t.Error("densified first pair not linked")
+	}
+	c.AdvanceTo(25 * time.Second)
+	if !c.Connected(1, 2) {
+		t.Error("densified second pair not linked")
+	}
+}
+
+func TestReadContactsErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"too few fields", "1 2 30\n"},
+		{"bad device", "x 2 0 10\n"},
+		{"bad device b", "1 y 0 10\n"},
+		{"bad start", "1 2 zz 10\n"},
+		{"bad end", "1 2 0 ww\n"},
+		{"end before start", "1 2 100 50\n"},
+		{"negative start", "1 2 -5 10\n"},
+		{"no devices", "# empty\n"},
+		{"one device only", "3 3 0 10\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadContacts(c.name, strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// A CRAWDAD import round-trips through the interchange format.
+func TestReadContactsInterchangeRoundTrip(t *testing.T) {
+	src := "1 2 0 100\n2 3 50 150\n1 3 75 80\n"
+	tr, err := ReadContacts("roundtrip", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != tr.N || len(got.Events) != len(tr.Events) {
+		t.Errorf("round trip changed shape: %d/%d events", len(got.Events), len(tr.Events))
+	}
+}

@@ -1,0 +1,264 @@
+// Package trace provides the wireless contact-trace substrate for the
+// trace-driven gossip environment.
+//
+// The paper evaluates on the CRAWDAD cambridge/haggle datasets: three
+// traces of Bluetooth sightings between 9, 12 and 41 iMote-carrying
+// people, recorded over several days (two daily-life traces and one
+// conference trace). Those recordings are not redistributable here, so
+// this package supplies (a) the exact artifact the protocols consume —
+// a time-ordered stream of symmetric link up/down events — with a
+// reader and writer for a plain text interchange format, and (b) a
+// synthetic generator (see generator.go) producing traces with the
+// qualitative structure the paper's Figure 11 depends on: small
+// transient groups, daily rhythm, and occasional large gatherings.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Event is one change in the device adjacency matrix: the link between
+// devices A and B (A < B) comes up or goes down at time At after trace
+// start.
+type Event struct {
+	At time.Duration
+	A  int
+	B  int
+	Up bool
+}
+
+// Trace is a complete contact trace: N devices observed for Duration,
+// with a time-ordered event stream. Links are undirected and the
+// stream is well-formed: for each pair, ups and downs strictly
+// alternate starting with an up.
+type Trace struct {
+	Name     string
+	N        int
+	Duration time.Duration
+	Events   []Event
+}
+
+// Validate checks structural well-formedness: device ids in range,
+// canonical pair order, non-decreasing timestamps, and alternating
+// up/down per link starting with up.
+func (t *Trace) Validate() error {
+	if t.N <= 0 {
+		return fmt.Errorf("trace %q: non-positive device count %d", t.Name, t.N)
+	}
+	up := make(map[[2]int]bool)
+	var prev time.Duration
+	for i, ev := range t.Events {
+		if ev.A < 0 || ev.B < 0 || ev.A >= t.N || ev.B >= t.N {
+			return fmt.Errorf("trace %q event %d: device out of range: %d-%d (N=%d)", t.Name, i, ev.A, ev.B, t.N)
+		}
+		if ev.A >= ev.B {
+			return fmt.Errorf("trace %q event %d: non-canonical pair %d-%d (want A < B)", t.Name, i, ev.A, ev.B)
+		}
+		if ev.At < prev {
+			return fmt.Errorf("trace %q event %d: time went backwards (%v after %v)", t.Name, i, ev.At, prev)
+		}
+		if ev.At > t.Duration {
+			return fmt.Errorf("trace %q event %d: time %v beyond duration %v", t.Name, i, ev.At, t.Duration)
+		}
+		prev = ev.At
+		key := [2]int{ev.A, ev.B}
+		if up[key] == ev.Up {
+			state := "down"
+			if ev.Up {
+				state = "up"
+			}
+			return fmt.Errorf("trace %q event %d: link %d-%d already %s", t.Name, i, ev.A, ev.B, state)
+		}
+		up[key] = ev.Up
+	}
+	return nil
+}
+
+// Cursor replays a trace, maintaining the live adjacency as simulated
+// time advances. It also records, for every link, when it was last up,
+// which the grouping layer uses for its sliding window.
+type Cursor struct {
+	trace *Trace
+	next  int
+	now   time.Duration
+	adj   []map[int]bool           // current neighbors per device
+	last  map[[2]int]time.Duration // link -> last time it was observed up
+}
+
+// NewCursor returns a cursor positioned at time zero.
+func NewCursor(t *Trace) *Cursor {
+	c := &Cursor{
+		trace: t,
+		adj:   make([]map[int]bool, t.N),
+		last:  make(map[[2]int]time.Duration),
+	}
+	for i := range c.adj {
+		c.adj[i] = make(map[int]bool)
+	}
+	return c
+}
+
+// Now returns the cursor's current time.
+func (c *Cursor) Now() time.Duration { return c.now }
+
+// TraceDuration returns the total duration of the underlying trace.
+func (c *Cursor) TraceDuration() time.Duration { return c.trace.Duration }
+
+// Done reports whether the cursor has consumed the whole trace.
+func (c *Cursor) Done() bool {
+	return c.now >= c.trace.Duration && c.next >= len(c.trace.Events)
+}
+
+// AdvanceTo applies all events at or before t. Time never moves
+// backwards; earlier t is a no-op. Calling with t equal to the current
+// time applies any not-yet-consumed events at exactly t (this matters
+// at t=0, where links that exist from trace start must come up before
+// the first gossip round).
+func (c *Cursor) AdvanceTo(t time.Duration) {
+	if t < c.now {
+		return
+	}
+	c.now = t
+	for c.next < len(c.trace.Events) && c.trace.Events[c.next].At <= t {
+		ev := c.trace.Events[c.next]
+		c.next++
+		key := [2]int{ev.A, ev.B}
+		if ev.Up {
+			c.adj[ev.A][ev.B] = true
+			c.adj[ev.B][ev.A] = true
+			c.last[key] = ev.At
+		} else {
+			delete(c.adj[ev.A], ev.B)
+			delete(c.adj[ev.B], ev.A)
+			c.last[key] = ev.At // was up until now
+		}
+	}
+	// Links still up extend their last-seen time to the present.
+	for a := 0; a < c.trace.N; a++ {
+		for b := range c.adj[a] {
+			if a < b {
+				c.last[[2]int{a, b}] = t
+			}
+		}
+	}
+}
+
+// Neighbors returns the devices currently in range of device a, in
+// ascending order.
+func (c *Cursor) Neighbors(a int) []int {
+	out := make([]int, 0, len(c.adj[a]))
+	for b := range c.adj[a] {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Connected reports whether devices a and b currently share a link.
+func (c *Cursor) Connected(a, b int) bool { return c.adj[a][b] }
+
+// Degree returns the number of current neighbors of device a.
+func (c *Cursor) Degree(a int) int { return len(c.adj[a]) }
+
+// RecentEdges returns all links that were up at any point within the
+// window ending now (the paper's 10-minute "nearby" union), as
+// canonical pairs.
+func (c *Cursor) RecentEdges(window time.Duration) [][2]int {
+	cutoff := c.now - window
+	out := make([][2]int, 0, len(c.last))
+	for key, at := range c.last {
+		if at >= cutoff {
+			out = append(out, key)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Write serializes the trace in the package's interchange format:
+//
+//	# name <name>
+//	# devices <N>
+//	# duration <seconds>
+//	<seconds> <a> <b> up|down
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# name %s\n", strings.ReplaceAll(t.Name, "\n", " "))
+	fmt.Fprintf(bw, "# devices %d\n", t.N)
+	fmt.Fprintf(bw, "# duration %.0f\n", t.Duration.Seconds())
+	for _, ev := range t.Events {
+		state := "down"
+		if ev.Up {
+			state = "up"
+		}
+		fmt.Fprintf(bw, "%.0f %d %d %s\n", ev.At.Seconds(), ev.A, ev.B, state)
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace in the interchange format written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	t := &Trace{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(strings.TrimPrefix(text, "#"))
+			if len(fields) < 2 {
+				continue
+			}
+			switch fields[0] {
+			case "name":
+				t.Name = strings.Join(fields[1:], " ")
+			case "devices":
+				if _, err := fmt.Sscanf(fields[1], "%d", &t.N); err != nil {
+					return nil, fmt.Errorf("trace: line %d: bad devices header: %v", line, err)
+				}
+			case "duration":
+				var secs float64
+				if _, err := fmt.Sscanf(fields[1], "%f", &secs); err != nil {
+					return nil, fmt.Errorf("trace: line %d: bad duration header: %v", line, err)
+				}
+				t.Duration = time.Duration(secs * float64(time.Second))
+			}
+			continue
+		}
+		var secs float64
+		var a, b int
+		var state string
+		if _, err := fmt.Sscanf(text, "%f %d %d %s", &secs, &a, &b, &state); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %q: %v", line, text, err)
+		}
+		if state != "up" && state != "down" {
+			return nil, fmt.Errorf("trace: line %d: bad state %q", line, state)
+		}
+		t.Events = append(t.Events, Event{
+			At: time.Duration(secs * float64(time.Second)),
+			A:  a, B: b,
+			Up: state == "up",
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,284 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleTrace() *Trace {
+	h := time.Hour
+	return &Trace{
+		Name:     "sample",
+		N:        4,
+		Duration: 3 * h,
+		Events: []Event{
+			{At: 0, A: 0, B: 1, Up: true},
+			{At: 10 * time.Minute, A: 2, B: 3, Up: true},
+			{At: h, A: 0, B: 1, Up: false},
+			{At: h, A: 1, B: 2, Up: true},
+			{At: 2 * h, A: 2, B: 3, Up: false},
+		},
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := sampleTrace().Validate(); err != nil {
+		t.Errorf("well-formed trace rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := func() *Trace { return sampleTrace() }
+	cases := []struct {
+		name   string
+		mutate func(*Trace)
+	}{
+		{"zero devices", func(tr *Trace) { tr.N = 0 }},
+		{"device out of range", func(tr *Trace) { tr.Events[0].B = 9 }},
+		{"negative device", func(tr *Trace) { tr.Events[0].A = -1 }},
+		{"non-canonical pair", func(tr *Trace) { tr.Events[0].A, tr.Events[0].B = 1, 0 }},
+		{"self link", func(tr *Trace) { tr.Events[0].B = 0 }},
+		{"time backwards", func(tr *Trace) { tr.Events[2].At = 0; tr.Events[1].At = time.Hour }},
+		{"beyond duration", func(tr *Trace) { tr.Events[4].At = 5 * time.Hour }},
+		{"double up", func(tr *Trace) { tr.Events[2].Up = true }},
+		{"down before up", func(tr *Trace) { tr.Events[0].Up = false }},
+	}
+	for _, c := range cases {
+		tr := base()
+		c.mutate(tr)
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestCursorReplay(t *testing.T) {
+	tr := sampleTrace()
+	c := NewCursor(tr)
+
+	c.AdvanceTo(0)
+	if !c.Connected(0, 1) || !c.Connected(1, 0) {
+		t.Error("link 0-1 not up at t=0")
+	}
+	if c.Connected(2, 3) {
+		t.Error("link 2-3 up before its event")
+	}
+
+	c.AdvanceTo(30 * time.Minute)
+	if !c.Connected(2, 3) {
+		t.Error("link 2-3 not up at t=30m")
+	}
+	if got := c.Degree(0); got != 1 {
+		t.Errorf("Degree(0) = %d, want 1", got)
+	}
+
+	c.AdvanceTo(time.Hour)
+	if c.Connected(0, 1) {
+		t.Error("link 0-1 still up after its down event")
+	}
+	if !c.Connected(1, 2) {
+		t.Error("link 1-2 not up at t=1h")
+	}
+	if nb := c.Neighbors(2); len(nb) != 2 || nb[0] != 1 || nb[1] != 3 {
+		t.Errorf("Neighbors(2) = %v, want [1 3]", nb)
+	}
+
+	// Time never goes backwards.
+	c.AdvanceTo(10 * time.Minute)
+	if c.Now() != time.Hour {
+		t.Errorf("Now = %v after backwards AdvanceTo, want 1h", c.Now())
+	}
+
+	c.AdvanceTo(3 * time.Hour)
+	if !c.Done() {
+		t.Error("cursor not Done at trace end")
+	}
+}
+
+func TestCursorRecentEdges(t *testing.T) {
+	tr := sampleTrace()
+	c := NewCursor(tr)
+	// At t=1h5m, link 0-1 went down at 1h (5m ago: within a 10m window),
+	// 1-2 and 2-3 are still up.
+	c.AdvanceTo(time.Hour + 5*time.Minute)
+	edges := c.RecentEdges(10 * time.Minute)
+	want := [][2]int{{0, 1}, {1, 2}, {2, 3}}
+	if len(edges) != len(want) {
+		t.Fatalf("RecentEdges = %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("RecentEdges = %v, want %v", edges, want)
+		}
+	}
+	// With a 2-minute window the 0-1 link has aged out.
+	edges = c.RecentEdges(2 * time.Minute)
+	if len(edges) != 2 || edges[0] != [2]int{1, 2} || edges[1] != [2]int{2, 3} {
+		t.Errorf("RecentEdges(2m) = %v, want [[1 2] [2 3]]", edges)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.N != tr.N || got.Duration != tr.Duration {
+		t.Errorf("header mismatch: %+v vs %+v", got, tr)
+	}
+	if len(got.Events) != len(tr.Events) {
+		t.Fatalf("event count %d, want %d", len(got.Events), len(tr.Events))
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"# devices 2\n# duration 100\nnot an event\n",
+		"# devices 2\n# duration 100\n10 0 1 sideways\n",
+		"# devices abc\n",
+		"# duration xyz\n",
+		// Structurally invalid after parse: device out of range.
+		"# devices 2\n# duration 100\n10 0 5 up\n",
+	}
+	for i, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestReadSkipsBlanksAndUnknownHeaders(t *testing.T) {
+	src := "# name t\n# devices 2\n# duration 100\n# color blue\n\n10 0 1 up\n"
+	tr, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N != 2 || len(tr.Events) != 1 {
+		t.Errorf("parsed %+v", tr)
+	}
+}
+
+// Generator output is always structurally valid and deterministic per
+// seed.
+func TestGenerateValidAndDeterministic(t *testing.T) {
+	for _, params := range []GenParams{Dataset1(), Dataset2(), Dataset3()} {
+		tr := Generate(params)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: invalid: %v", params.Name, err)
+		}
+		if tr.N != params.N {
+			t.Errorf("%s: N = %d, want %d", params.Name, tr.N, params.N)
+		}
+		wantDur := time.Duration(params.Days) * 24 * time.Hour
+		if tr.Duration != wantDur {
+			t.Errorf("%s: duration %v, want %v", params.Name, tr.Duration, wantDur)
+		}
+		if len(tr.Events) == 0 {
+			t.Errorf("%s: no events", params.Name)
+		}
+		again := Generate(params)
+		if len(again.Events) != len(tr.Events) {
+			t.Errorf("%s: non-deterministic event count", params.Name)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	p := Dataset1()
+	a := Generate(p)
+	p.Seed = 99
+	b := Generate(p)
+	if len(a.Events) == len(b.Events) {
+		same := true
+		for i := range a.Events {
+			if a.Events[i] != b.Events[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGeneratePanicsOnTinyN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Generate with N=1 did not panic")
+		}
+	}()
+	Generate(GenParams{N: 1, Days: 1})
+}
+
+// The conference preset must produce large gatherings (most devices in
+// one group during sessions), the daily presets mostly small groups.
+func TestGeneratorQualitativeShape(t *testing.T) {
+	tr := Generate(Dataset3())
+	c := NewCursor(tr)
+	// 10:30 on day 1 is mid-session.
+	c.AdvanceTo(10*time.Hour + 30*time.Minute)
+	best := 0
+	for i := 0; i < tr.N; i++ {
+		if d := c.Degree(i); d > best {
+			best = d
+		}
+	}
+	if best < tr.N/2 {
+		t.Errorf("conference session peak degree %d, want >= %d (a large gathering)", best, tr.N/2)
+	}
+
+	// 3:00 at night: everyone home, no links beyond stray encounters.
+	c.AdvanceTo(27 * time.Hour)
+	linked := 0
+	for i := 0; i < tr.N; i++ {
+		linked += c.Degree(i)
+	}
+	if linked > tr.N {
+		t.Errorf("night connectivity too high: %d link-ends", linked)
+	}
+}
+
+// Round-trip property on generated traces: Write then Read reproduces
+// every event.
+func TestGeneratorRoundTrip(t *testing.T) {
+	prop := func(seed uint64) bool {
+		p := Dataset1()
+		p.Seed = seed
+		p.Days = 1
+		tr := Generate(p)
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.N != tr.N || len(got.Events) != len(tr.Events) {
+			return false
+		}
+		for i := range tr.Events {
+			if got.Events[i] != tr.Events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,205 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMassRoundTrip(t *testing.T) {
+	prop := func(w, v float64) bool {
+		buf := AppendMass(nil, w, v)
+		if len(buf) != 16 {
+			return false
+		}
+		gw, gv, rest, err := DecodeMass(buf)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return eq(gw, w) && eq(gv, v)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// eq treats NaN as equal to NaN (bit-level round trip).
+func eq(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func TestMass3RoundTrip(t *testing.T) {
+	prop := func(w, v, q float64) bool {
+		buf := AppendMass3(nil, w, v, q)
+		if len(buf) != 24 {
+			return false
+		}
+		gw, gv, gq, rest, err := DecodeMass3(buf)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return eq(gw, w) && eq(gv, v) && eq(gq, q)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMassDecodeShort(t *testing.T) {
+	if _, _, _, err := DecodeMass(make([]byte, 15)); err == nil {
+		t.Error("short mass accepted")
+	}
+	if _, _, _, _, err := DecodeMass3(make([]byte, 20)); err == nil {
+		t.Error("short mass3 accepted")
+	}
+}
+
+func TestCountersRoundTrip(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		buf := AppendCounters(nil, raw)
+		out := make([]uint8, len(raw))
+		rest, err := DecodeCounters(out, buf)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		for i := range raw {
+			if out[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountersCompression(t *testing.T) {
+	// A converged matrix: long Never runs plus small-age runs.
+	matrix := make([]uint8, 64*24)
+	for i := range matrix {
+		if i%24 < 6 {
+			matrix[i] = uint8(i % 3)
+		} else {
+			matrix[i] = 255
+		}
+	}
+	buf := AppendCounters(nil, matrix)
+	// The Never runs (18 of 24 levels per bin) collapse to 2 bytes
+	// each; the varying low levels dominate what remains.
+	if len(buf) >= 2*len(matrix)/3 {
+		t.Errorf("RLE produced %d bytes for a %d-byte matrix; expected at least 1.5x compression", len(buf), len(matrix))
+	}
+}
+
+func TestCountersDecodeErrors(t *testing.T) {
+	good := AppendCounters(nil, []uint8{1, 1, 2})
+	// Wrong destination length.
+	if _, err := DecodeCounters(make([]uint8, 5), good); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// Truncated stream.
+	if _, err := DecodeCounters(make([]uint8, 3), good[:len(good)-1]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	if _, err := DecodeCounters(make([]uint8, 3), nil); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// Run overflowing the matrix.
+	bad := AppendCounters(nil, []uint8{1, 1, 1, 1})
+	bad[0] = 3 // lie about the element count downward
+	if _, err := DecodeCounters(make([]uint8, 3), bad); err == nil {
+		t.Error("overflowing run accepted")
+	}
+}
+
+func TestSketchBitsRoundTrip(t *testing.T) {
+	prop := func(bits []uint64) bool {
+		buf := AppendSketchBits(nil, bits)
+		got, rest, err := DecodeSketchBits(buf)
+		if err != nil || len(rest) != 0 || len(got) != len(bits) {
+			return false
+		}
+		for i := range bits {
+			if got[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSketchBitsDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeSketchBits(nil); err == nil {
+		t.Error("empty stream accepted")
+	}
+	buf := AppendSketchBits(nil, []uint64{1, 2, 3})
+	if _, _, err := DecodeSketchBits(buf[:len(buf)-3]); err == nil {
+		t.Error("truncated words accepted")
+	}
+}
+
+func TestCandidatesRoundTrip(t *testing.T) {
+	prop := func(raw []int32) bool {
+		cands := make([]Candidate, 0, len(raw))
+		for i, r := range raw {
+			cands = append(cands, Candidate{
+				Value: float64(r) / 3,
+				Owner: r,
+				Age:   int32(i % 40),
+			})
+		}
+		buf := AppendCandidates(nil, cands)
+		got, rest, err := DecodeCandidates(buf)
+		if err != nil || len(rest) != 0 || len(got) != len(cands) {
+			return false
+		}
+		for i := range cands {
+			if got[i] != cands[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCandidatesDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeCandidates(nil); err == nil {
+		t.Error("empty stream accepted")
+	}
+	buf := AppendCandidates(nil, []Candidate{{Value: 1, Owner: 2, Age: 3}})
+	for cut := 1; cut < len(buf); cut++ {
+		if _, _, err := DecodeCandidates(buf[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// Messages concatenate: decoding consumes exactly one value and
+// returns the rest.
+func TestStreamComposition(t *testing.T) {
+	var buf []byte
+	buf = AppendMass(buf, 1, 2)
+	buf = AppendCounters(buf, []uint8{9, 9, 9})
+	buf = AppendSketchBits(buf, []uint64{7})
+
+	w, v, rest, err := DecodeMass(buf)
+	if err != nil || w != 1 || v != 2 {
+		t.Fatalf("mass: %v %v %v", w, v, err)
+	}
+	counters := make([]uint8, 3)
+	rest, err = DecodeCounters(counters, rest)
+	if err != nil || counters[2] != 9 {
+		t.Fatalf("counters: %v %v", counters, err)
+	}
+	bits, rest, err := DecodeSketchBits(rest)
+	if err != nil || len(rest) != 0 || bits[0] != 7 {
+		t.Fatalf("bits: %v %v", bits, err)
+	}
+}
