@@ -1,0 +1,31 @@
+# Local development and CI run the exact same commands: the ci target
+# below is what .github/workflows/ci.yml invokes.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Benchmark smoke pass: compile and run every benchmark once so perf
+# harness rot is caught on every push without paying full bench time.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build race bench

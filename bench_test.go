@@ -10,9 +10,16 @@
 // figure's data series end to end (workload, failure schedule,
 // protocol, metrics), so ns/op measures the cost of a complete
 // experiment at the benchmark scale.
+//
+// Every Scale-driven benchmark runs twice: workers=0 is the
+// sequential round executor, workers=G a GOMAXPROCS-sized sharded
+// pool. The two modes produce byte-identical series, so the pair
+// tracks the parallel speedup across the whole figure suite.
 package dynagg_bench
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"dynagg/internal/experiments"
@@ -25,6 +32,21 @@ func benchScale() experiments.Scale {
 	sc.N = 2000
 	sc.Rounds = 40
 	return sc
+}
+
+// benchBothModes runs the figure driver under the sequential executor
+// and under a GOMAXPROCS-sized worker pool.
+func benchBothModes(b *testing.B, driver func(experiments.Scale) experiments.Result) {
+	for _, workers := range []int{0, runtime.GOMAXPROCS(0)} {
+		sc := benchScale()
+		sc.Workers = workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = driver(sc)
+			}
+		})
+	}
 }
 
 // BenchmarkFig6BitCounterCDF regenerates Figure 6: the distribution of
@@ -43,41 +65,25 @@ func BenchmarkFig6BitCounterCDF(b *testing.B) {
 // BenchmarkFig8UncorrelatedFailures regenerates Figure 8: dynamic
 // averaging accuracy when half the hosts fail at random.
 func BenchmarkFig8UncorrelatedFailures(b *testing.B) {
-	sc := benchScale()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_ = experiments.Fig8(sc)
-	}
+	benchBothModes(b, experiments.Fig8)
 }
 
 // BenchmarkFig9DynamicCounting regenerates Figure 9: Count-Sketch-Reset
 // versus naive sketch counting across a massive failure.
 func BenchmarkFig9DynamicCounting(b *testing.B) {
-	sc := benchScale()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_ = experiments.Fig9(sc)
-	}
+	benchBothModes(b, experiments.Fig9)
 }
 
 // BenchmarkFig10aCorrelatedFailures regenerates Figure 10a: basic
 // Push-Sum-Revert under value-correlated failures.
 func BenchmarkFig10aCorrelatedFailures(b *testing.B) {
-	sc := benchScale()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_ = experiments.Fig10a(sc)
-	}
+	benchBothModes(b, experiments.Fig10a)
 }
 
 // BenchmarkFig10bFullTransfer regenerates Figure 10b: the Full-Transfer
 // optimization under value-correlated failures.
 func BenchmarkFig10bFullTransfer(b *testing.B) {
-	sc := benchScale()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_ = experiments.Fig10b(sc)
-	}
+	benchBothModes(b, experiments.Fig10b)
 }
 
 // BenchmarkFig11TraceAverage regenerates Figure 11 (left column):
@@ -101,21 +107,13 @@ func BenchmarkFig11TraceSum(b *testing.B) {
 // BenchmarkAblationPushPull measures the push versus push/pull
 // convergence comparison (§III-A, Karp et al.).
 func BenchmarkAblationPushPull(b *testing.B) {
-	sc := benchScale()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_ = experiments.AblationPushPull(sc)
-	}
+	benchBothModes(b, experiments.AblationPushPull)
 }
 
 // BenchmarkAblationAdaptive measures the indegree-scaled reversion
 // ablation (§III-A).
 func BenchmarkAblationAdaptive(b *testing.B) {
-	sc := benchScale()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_ = experiments.AblationAdaptive(sc)
-	}
+	benchBothModes(b, experiments.AblationAdaptive)
 }
 
 // BenchmarkAblationBins measures sketch accuracy versus bin count
@@ -130,11 +128,7 @@ func BenchmarkAblationBins(b *testing.B) {
 // BenchmarkAblationEpoch measures the epoch-reset baseline sensitivity
 // study (§II-C).
 func BenchmarkAblationEpoch(b *testing.B) {
-	sc := benchScale()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_ = experiments.AblationEpoch(sc)
-	}
+	benchBothModes(b, experiments.AblationEpoch)
 }
 
 // BenchmarkAblationOverlay measures the TAG-style spanning-tree
@@ -149,21 +143,13 @@ func BenchmarkAblationOverlay(b *testing.B) {
 // BenchmarkAblationMoments measures the dynamic standard-deviation
 // extension under correlated failures.
 func BenchmarkAblationMoments(b *testing.B) {
-	sc := benchScale()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_ = experiments.AblationMoments(sc)
-	}
+	benchBothModes(b, experiments.AblationMoments)
 }
 
 // BenchmarkAblationExtremes measures the dynamic max extension under
 // correlated failures.
 func BenchmarkAblationExtremes(b *testing.B) {
-	sc := benchScale()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_ = experiments.AblationExtremes(sc)
-	}
+	benchBothModes(b, experiments.AblationExtremes)
 }
 
 // BenchmarkAblationGridCutoff measures the spatial cutoff calibration
@@ -187,9 +173,5 @@ func BenchmarkAblationBandwidth(b *testing.B) {
 // BenchmarkAblationMobility measures dynamic averaging under
 // random-waypoint mobility.
 func BenchmarkAblationMobility(b *testing.B) {
-	sc := benchScale()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_ = experiments.AblationMobility(sc)
-	}
+	benchBothModes(b, experiments.AblationMobility)
 }

@@ -36,6 +36,13 @@
 //	-n N        override host count
 //	-rounds R   override round count
 //	-seed S     PRNG seed
+//	-workers W  engine worker pool: 0 sequential (default), -1 all
+//	            CPUs, k>0 exactly k workers; results are byte-identical
+//	            at any setting. Applies to the Scale-driven experiments
+//	            (fig8/9/10*, ablation-pushpull/adaptive/epoch/moments/
+//	            extremes/mobility); the fixed-size drivers (fig6,
+//	            fig11*, ablation-bins/overlay/gridcutoff/bandwidth)
+//	            always run sequentially
 //	-dataset D  trace dataset 1-3 (fig11 experiments; default 1)
 //	-format F   output format: table (default), csv, json
 //	-o FILE     write output to FILE instead of stdout
@@ -49,6 +56,7 @@ import (
 	"time"
 
 	"dynagg/internal/experiments"
+	"dynagg/internal/gossip"
 	"dynagg/internal/trace"
 )
 
@@ -70,6 +78,7 @@ func run(args []string) error {
 	n := fs.Int("n", 0, "override host count")
 	rounds := fs.Int("rounds", 0, "override round count")
 	seed := fs.Uint64("seed", 1, "PRNG seed")
+	workers := fs.Int("workers", 0, "engine worker pool for Scale-driven experiments: 0 sequential, -1 all CPUs, k>0 exactly k workers (same results at any setting; fig6/fig11/bins/overlay/gridcutoff/bandwidth run sequentially regardless)")
 	dataset := fs.Int("dataset", 1, "trace dataset 1-3")
 	format := fs.String("format", "table", "output format: table, csv, json")
 	outPath := fs.String("o", "", "write output to file instead of stdout")
@@ -103,6 +112,12 @@ func run(args []string) error {
 		sc.Rounds = *rounds
 	}
 	sc.Seed = *seed
+	switch {
+	case *workers < 0:
+		sc.Workers = gossip.DefaultWorkers()
+	default:
+		sc.Workers = *workers
+	}
 
 	switch name {
 	case "trace-gen":
@@ -283,7 +298,7 @@ func printFig6CDFs(out io.Writer, frs []experiments.Fig6Result) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dynaggsim <experiment> [-full] [-n N] [-rounds R] [-seed S] [-dataset D]
+	fmt.Fprintln(os.Stderr, `usage: dynaggsim <experiment> [-full] [-n N] [-rounds R] [-seed S] [-workers W] [-dataset D]
                           [-format table|csv|json] [-o FILE]
 experiments: fig6 fig8 fig9 fig10a fig10b fig11avg fig11sum
              ablation-pushpull ablation-adaptive ablation-bins

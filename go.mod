@@ -1,0 +1,3 @@
+module dynagg
+
+go 1.24

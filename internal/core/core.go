@@ -49,6 +49,10 @@ type Common struct {
 	// Model selects push or push/pull gossip. The default is
 	// push/pull, the variant the paper's large-network figures use.
 	Model gossip.Model
+	// Workers sizes the engine's worker pool: 0 runs rounds
+	// sequentially, k >= 1 runs the sharded parallel executor with k
+	// workers. Results are byte-identical either way.
+	Workers int
 	// BeforeRound and AfterRound hooks observe or perturb the run
 	// (failure injection, metrics).
 	BeforeRound []gossip.Hook
@@ -283,6 +287,7 @@ func assemble(common Common, agents []gossip.Agent, kind string) (*Network, erro
 		Agents:      agents,
 		Model:       common.Model,
 		Seed:        common.Seed,
+		Workers:     common.Workers,
 		BeforeRound: common.BeforeRound,
 		AfterRound:  common.AfterRound,
 	})

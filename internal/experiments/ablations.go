@@ -36,6 +36,7 @@ func AblationPushPull(sc Scale) Result {
 		series := stats.Series{Label: model.String()}
 		engine, err := gossip.NewEngine(gossip.Config{
 			Env: environment, Agents: agents, Model: model, Seed: sc.Seed,
+			Workers:    sc.Workers,
 			AfterRound: []gossip.Hook{metrics.DeviationHook(&series, truth.Average)},
 		})
 		if err != nil {
@@ -79,6 +80,7 @@ func AblationAdaptive(sc Scale) Result {
 		series := stats.Series{Label: label}
 		engine, err := gossip.NewEngine(gossip.Config{
 			Env: environment, Agents: agents, Model: gossip.Push, Seed: sc.Seed,
+			Workers:     sc.Workers,
 			BeforeRound: []gossip.Hook{failure.TopValuedAt(sc.FailAt, 0.5, environment.Population, values)},
 			AfterRound:  []gossip.Hook{metrics.DeviationHook(&series, truth.Average)},
 		})
@@ -158,6 +160,7 @@ func AblationEpoch(sc Scale) Result {
 		series := stats.Series{Label: fmt.Sprintf("epoch len %d", length)}
 		engine, err := gossip.NewEngine(gossip.Config{
 			Env: environment, Agents: agents, Model: gossip.Push, Seed: sc.Seed,
+			Workers:     sc.Workers,
 			BeforeRound: []gossip.Hook{failure.TopValuedAt(sc.FailAt, 0.5, environment.Population, values)},
 			AfterRound:  []gossip.Hook{metrics.DeviationHook(&series, truth.Average)},
 		})

@@ -105,6 +105,10 @@ type Scale struct {
 	FailAt int
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers sizes the engine's worker pool: 0 runs the sequential
+	// executor, k >= 1 the sharded parallel one (byte-identical
+	// results either way; see gossip.Config.Workers).
+	Workers int
 }
 
 // Default is the laptop-scale sizing: 10,000 hosts.

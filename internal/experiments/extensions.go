@@ -50,6 +50,7 @@ func AblationMoments(sc Scale) Result {
 		}
 		engine, err := gossip.NewEngine(gossip.Config{
 			Env: environment, Agents: agents, Model: gossip.PushPull, Seed: sc.Seed,
+			Workers:     sc.Workers,
 			BeforeRound: []gossip.Hook{failure.TopValuedAt(sc.FailAt, 0.5, environment.Population, values)},
 			AfterRound: []gossip.Hook{func(round int, e *gossip.Engine) {
 				truth := trueStdDev()
@@ -119,6 +120,7 @@ func AblationExtremes(sc Scale) Result {
 		}
 		engine, err := gossip.NewEngine(gossip.Config{
 			Env: environment, Agents: agents, Model: gossip.PushPull, Seed: sc.Seed,
+			Workers:     sc.Workers,
 			BeforeRound: []gossip.Hook{failure.TopValuedAt(sc.FailAt, 0.5, environment.Population, values)},
 			AfterRound: []gossip.Hook{func(round int, e *gossip.Engine) {
 				truth := trueMax()

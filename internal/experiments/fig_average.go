@@ -133,6 +133,7 @@ func runAveragingOnce(opts AveragingOptions, lambda float64) stats.Series {
 	}
 	engine, err := gossip.NewEngine(gossip.Config{
 		Env: environment, Agents: agents, Model: model, Seed: opts.Seed,
+		Workers:     opts.Workers,
 		BeforeRound: []gossip.Hook{failHook},
 		AfterRound:  []gossip.Hook{metrics.DeviationHook(&series, truth.Average)},
 	})

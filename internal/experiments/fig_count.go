@@ -58,6 +58,7 @@ func runCountingOnce(sc Scale, limited bool, label string) stats.Series {
 	series := stats.Series{Label: label}
 	engine, err := gossip.NewEngine(gossip.Config{
 		Env: environment, Agents: agents, Model: gossip.PushPull, Seed: sc.Seed,
+		Workers:     sc.Workers,
 		BeforeRound: []gossip.Hook{failure.RandomAt(sc.FailAt, 0.5, environment.Population, sc.Seed+13)},
 		AfterRound:  []gossip.Hook{metrics.DeviationHook(&series, truth.Sum)},
 	})

@@ -61,6 +61,7 @@ func AblationMobility(sc Scale) Result {
 		}
 		engine, err := gossip.NewEngine(gossip.Config{
 			Env: mob, Agents: agents, Model: gossip.PushPull, Seed: sc.Seed,
+			Workers:     sc.Workers,
 			BeforeRound: []gossip.Hook{failure.TopValuedAt(sc.FailAt, 0.5, mob.Population, values)},
 			AfterRound:  hooks,
 		})

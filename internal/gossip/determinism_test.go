@@ -1,0 +1,157 @@
+package gossip_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dynagg/internal/env"
+	"dynagg/internal/failure"
+	"dynagg/internal/gossip"
+	"dynagg/internal/protocol/extremes"
+	"dynagg/internal/protocol/pushsum"
+	"dynagg/internal/protocol/sketchreset"
+	"dynagg/internal/sketch"
+)
+
+// fingerprint captures everything the determinism contract promises:
+// the exact bit pattern of every host's estimate plus the engine's
+// message and contact counters.
+type fingerprint struct {
+	estimates []uint64
+	messages  int64
+	contacts  int64
+}
+
+func runFingerprint(t *testing.T, protocol string, model gossip.Model, n, rounds, workers int) fingerprint {
+	t.Helper()
+	environment := env.NewUniform(n)
+	agents := make([]gossip.Agent, n)
+	for i := range agents {
+		id := gossip.NodeID(i)
+		switch protocol {
+		case "pushsum":
+			agents[i] = pushsum.NewAverage(id, float64(i%97))
+		case "sketchreset":
+			agents[i] = sketchreset.New(id, sketchreset.Config{
+				Params:      sketch.Params{Bins: 8, Levels: 12},
+				Identifiers: 1,
+			})
+		case "extremes":
+			agents[i] = extremes.New(id, float64((i*31)%n), extremes.Config{Mode: extremes.Max})
+		default:
+			t.Fatalf("unknown protocol %q", protocol)
+		}
+	}
+	engine, err := gossip.NewEngine(gossip.Config{
+		Env:     environment,
+		Agents:  agents,
+		Model:   model,
+		Seed:    7,
+		Workers: workers,
+		// Kill a third of the population mid-run so dead-host skipping
+		// and lost messages are exercised in both executors.
+		BeforeRound: []gossip.Hook{
+			failure.RandomAt(rounds/2, 0.33, environment.Population, 11),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Run(rounds)
+	fp := fingerprint{messages: engine.Messages(), contacts: engine.Contacts()}
+	for _, a := range agents {
+		v, ok := a.Estimate()
+		if !ok {
+			v = math.Inf(-1)
+		}
+		fp.estimates = append(fp.estimates, math.Float64bits(v))
+	}
+	return fp
+}
+
+// TestParallelMatchesSequential asserts that the sharded executor
+// (Workers = 1, 4, 8) produces byte-identical estimates, message
+// counts, and contact counts to the sequential executor (Workers = 0)
+// across both gossip models and three protocols. The population is
+// deliberately not a multiple of the worker counts so shard boundaries
+// are uneven.
+func TestParallelMatchesSequential(t *testing.T) {
+	const (
+		n      = 403
+		rounds = 16
+	)
+	for _, protocol := range []string{"pushsum", "sketchreset", "extremes"} {
+		for _, model := range []gossip.Model{gossip.Push, gossip.PushPull} {
+			t.Run(fmt.Sprintf("%s/%s", protocol, model), func(t *testing.T) {
+				want := runFingerprint(t, protocol, model, n, rounds, 0)
+				for _, workers := range []int{1, 4, 8} {
+					got := runFingerprint(t, protocol, model, n, rounds, workers)
+					if got.messages != want.messages {
+						t.Errorf("workers=%d: Messages = %d, sequential %d", workers, got.messages, want.messages)
+					}
+					if got.contacts != want.contacts {
+						t.Errorf("workers=%d: Contacts = %d, sequential %d", workers, got.contacts, want.contacts)
+					}
+					for i := range want.estimates {
+						if got.estimates[i] != want.estimates[i] {
+							t.Errorf("workers=%d: host %d estimate bits %#x, sequential %#x",
+								workers, i, got.estimates[i], want.estimates[i])
+							break
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelWorkersExceedHosts covers the clamp path: more workers
+// than hosts must still be deterministic and correct, and
+// Engine.Workers must report the clamped pool size.
+func TestParallelWorkersExceedHosts(t *testing.T) {
+	environment := env.NewUniform(5)
+	agents := make([]gossip.Agent, 5)
+	for i := range agents {
+		agents[i] = pushsum.NewAverage(gossip.NodeID(i), float64(i))
+	}
+	engine, err := gossip.NewEngine(gossip.Config{Env: environment, Agents: agents, Workers: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.Workers(); got != 5 {
+		t.Errorf("Workers() = %d, want pool clamped to 5 hosts", got)
+	}
+	sequential, err := gossip.NewEngine(gossip.Config{Env: environment, Agents: agents})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sequential.Workers(); got != 0 {
+		t.Errorf("Workers() = %d on sequential engine, want 0", got)
+	}
+
+	want := runFingerprint(t, "pushsum", gossip.Push, 5, 8, 0)
+	got := runFingerprint(t, "pushsum", gossip.Push, 5, 8, 32)
+	for i := range want.estimates {
+		if got.estimates[i] != want.estimates[i] {
+			t.Fatalf("host %d estimate differs with clamped workers", i)
+		}
+	}
+	if got.messages != want.messages || got.contacts != want.contacts {
+		t.Fatalf("counters differ: got (%d, %d), want (%d, %d)",
+			got.messages, got.contacts, want.messages, want.contacts)
+	}
+}
+
+// TestNegativeWorkersRejected pins the validation contract.
+func TestNegativeWorkersRejected(t *testing.T) {
+	environment := env.NewUniform(2)
+	agents := []gossip.Agent{
+		pushsum.NewAverage(0, 1),
+		pushsum.NewAverage(1, 2),
+	}
+	_, err := gossip.NewEngine(gossip.Config{Env: environment, Agents: agents, Workers: -1})
+	if err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+}

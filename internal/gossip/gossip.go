@@ -117,6 +117,14 @@ type Config struct {
 	Agents []Agent
 	Model  Model
 	Seed   uint64
+	// Workers selects the round executor. 0 runs the original
+	// sequential loop; k >= 1 runs the sharded parallel executor with
+	// k workers (DefaultWorkers picks a GOMAXPROCS-sized pool). Both
+	// executors produce byte-identical results for the same seed:
+	// every host owns a private PRNG split, push deliveries are merged
+	// in emitter order, and push/pull exchanges follow a deterministic
+	// conflict schedule equivalent to initiator order.
+	Workers int
 	// BeforeRound hooks run after Env.Advance but before any agent
 	// acts, in registration order.
 	BeforeRound []Hook
@@ -141,6 +149,9 @@ type Engine struct {
 	// scratch inbox: one slice per destination to keep delivery
 	// order deterministic and allocation low.
 	inbox [][]any
+
+	// par holds the sharded executor state; nil in sequential mode.
+	par *parExec
 }
 
 // NewEngine validates the configuration and builds an engine.
@@ -159,12 +170,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 			}
 		}
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("gossip: Config.Workers must be >= 0, got %d", cfg.Workers)
+	}
 	root := xrand.New(cfg.Seed)
 	rngs := make([]*xrand.Rand, len(cfg.Agents))
 	for i := range rngs {
 		rngs[i] = root.Split(uint64(i))
 	}
-	return &Engine{
+	e := &Engine{
 		env:    cfg.Env,
 		agents: cfg.Agents,
 		model:  cfg.Model,
@@ -172,7 +186,20 @@ func NewEngine(cfg Config) (*Engine, error) {
 		before: cfg.BeforeRound,
 		after:  cfg.AfterRound,
 		inbox:  make([][]any, len(cfg.Agents)),
-	}, nil
+	}
+	if cfg.Workers > 0 {
+		e.par = newParExec(len(cfg.Agents), cfg.Workers)
+	}
+	return e, nil
+}
+
+// Workers returns the size of the engine's worker pool; 0 means the
+// sequential executor.
+func (e *Engine) Workers() int {
+	if e.par == nil {
+		return 0
+	}
+	return e.par.workers
 }
 
 // Round returns the number of completed rounds.
@@ -204,10 +231,14 @@ func (e *Engine) Step() {
 	for _, h := range e.before {
 		h(r, e)
 	}
-	switch e.model {
-	case Push:
+	switch {
+	case e.par != nil && e.model == Push:
+		e.stepPushParallel(r)
+	case e.par != nil && e.model == PushPull:
+		e.stepPushPullParallel(r)
+	case e.model == Push:
 		e.stepPush(r)
-	case PushPull:
+	case e.model == PushPull:
 		e.stepPushPull(r)
 	}
 	for _, h := range e.after {

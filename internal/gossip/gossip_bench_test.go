@@ -1,6 +1,7 @@
 package gossip
 
 import (
+	"fmt"
 	"testing"
 
 	"dynagg/internal/xrand"
@@ -52,13 +53,13 @@ func (e benchEnv) Pick(id NodeID, _ int, rng *xrand.Rand) (NodeID, bool) {
 	}
 }
 
-func benchEngine(b *testing.B, n int, model Model) *Engine {
+func benchEngine(b *testing.B, n int, model Model, workers int) *Engine {
 	b.Helper()
 	agents := make([]Agent, n)
 	for i := range agents {
 		agents[i] = &massAgent{id: NodeID(i), w: 1, v: float64(i)}
 	}
-	e, err := NewEngine(Config{Env: benchEnv{n}, Agents: agents, Model: model, Seed: 1})
+	e, err := NewEngine(Config{Env: benchEnv{n}, Agents: agents, Model: model, Seed: 1, Workers: workers})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func benchEngine(b *testing.B, n int, model Model) *Engine {
 
 // BenchmarkRoundPush measures one push round over 10,000 hosts.
 func BenchmarkRoundPush(b *testing.B) {
-	e := benchEngine(b, 10000, Push)
+	e := benchEngine(b, 10000, Push, 0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -78,10 +79,32 @@ func BenchmarkRoundPush(b *testing.B) {
 // BenchmarkRoundPushPull measures one push/pull round over 10,000
 // hosts.
 func BenchmarkRoundPushPull(b *testing.B) {
-	e := benchEngine(b, 10000, PushPull)
+	e := benchEngine(b, 10000, PushPull, 0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Step()
+	}
+}
+
+// BenchmarkEngineParallel compares sequential stepping against the
+// sharded executor at N=10,000 and N=100,000 for both models, tracking
+// the parallel speedup in the perf trajectory. workers=0 is the
+// sequential baseline; workers=G uses a GOMAXPROCS-sized pool.
+func BenchmarkEngineParallel(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		for _, model := range []Model{Push, PushPull} {
+			for _, workers := range []int{0, DefaultWorkers()} {
+				name := fmt.Sprintf("n=%d/%s/workers=%d", n, model, workers)
+				b.Run(name, func(b *testing.B) {
+					e := benchEngine(b, n, model, workers)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						e.Step()
+					}
+				})
+			}
+		}
 	}
 }

@@ -45,6 +45,14 @@ type Config struct {
 	// InboxCapacity bounds each host's message queue; messages beyond
 	// it are dropped, as a saturated radio would. Zero means 256.
 	InboxCapacity int
+	// Workers bounds the driver goroutines. 0 (the default) keeps one
+	// goroutine per host — maximal interleaving, the harshest setting
+	// for protocol robustness. k > 0 multiplexes hosts onto k workers,
+	// each sweeping the ticks of a contiguous host shard — the mode
+	// that scales to populations where per-host goroutines would
+	// exhaust memory. Either way runs are not reproducible; only the
+	// round engine is.
+	Workers int
 }
 
 // Engine is a running live simulation.
@@ -67,6 +75,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Ticks <= 0 {
 		return nil, fmt.Errorf("live: Ticks must be positive, got %d", cfg.Ticks)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("live: Workers must be >= 0, got %d", cfg.Workers)
 	}
 	if cfg.InboxCapacity == 0 {
 		cfg.InboxCapacity = 256
@@ -100,19 +111,26 @@ func (e *Engine) Sent() int64 { return e.sent.Load() }
 func (e *Engine) Dropped() int64 { return e.dropped.Load() }
 
 // Run executes every host's ticks concurrently and blocks until all
-// hosts finish or the context is cancelled.
+// hosts finish or the context is cancelled. With Config.Workers == 0
+// each host gets its own goroutine; otherwise Workers goroutines each
+// drive a contiguous shard of hosts, sweeping the shard once per tick.
 func (e *Engine) Run(ctx context.Context) error {
 	var wg sync.WaitGroup
 	n := len(e.cfg.Agents)
-	errs := make(chan error, n)
-	for i := 0; i < n; i++ {
+	workers := e.cfg.Workers
+	if workers == 0 || workers > n {
+		workers = n
+	}
+	errs := make(chan error, workers)
+	for s := 0; s < workers; s++ {
+		lo, hi := s*n/workers, (s+1)*n/workers
 		wg.Add(1)
-		go func(id int) {
+		go func(lo, hi int) {
 			defer wg.Done()
-			if err := e.hostLoop(ctx, gossip.NodeID(id)); err != nil {
+			if err := e.shardLoop(ctx, lo, hi); err != nil {
 				errs <- err
 			}
-		}(i)
+		}(lo, hi)
 	}
 	wg.Wait()
 	select {
@@ -123,23 +141,27 @@ func (e *Engine) Run(ctx context.Context) error {
 	}
 }
 
-func (e *Engine) hostLoop(ctx context.Context, id gossip.NodeID) error {
-	agent := e.cfg.Agents[id]
-	rng := e.rngs[id]
+// shardLoop drives hosts [lo, hi): one tick of every host, then the
+// next tick, so shard hosts progress together while shards interleave
+// freely against each other.
+func (e *Engine) shardLoop(ctx context.Context, lo, hi int) error {
 	for tick := 0; tick < e.cfg.Ticks; tick++ {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
 		default:
 		}
-		if !e.cfg.Env.Alive(id, tick) {
-			continue
-		}
-		switch e.cfg.Model {
-		case gossip.Push:
-			e.pushTick(agent, id, tick, rng)
-		case gossip.PushPull:
-			e.pullTick(agent, id, tick, rng)
+		for i := lo; i < hi; i++ {
+			id := gossip.NodeID(i)
+			if !e.cfg.Env.Alive(id, tick) {
+				continue
+			}
+			switch e.cfg.Model {
+			case gossip.Push:
+				e.pushTick(e.cfg.Agents[i], id, tick, e.rngs[i])
+			case gossip.PushPull:
+				e.pullTick(e.cfg.Agents[i], id, tick, e.rngs[i])
+			}
 		}
 	}
 	return nil

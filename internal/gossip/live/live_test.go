@@ -226,3 +226,51 @@ func TestEstimatesSkipsDeadHosts(t *testing.T) {
 		t.Errorf("Estimates returned %d values, want %d", got, n-2)
 	}
 }
+
+// TestBoundedWorkersConverge exercises the sharded driver: a handful
+// of worker goroutines multiplexing all hosts must still converge
+// under both models.
+func TestBoundedWorkersConverge(t *testing.T) {
+	const n = 300
+	for _, model := range []gossip.Model{gossip.Push, gossip.PushPull} {
+		u := env.NewUniform(n)
+		agents := make([]gossip.Agent, n)
+		var truth float64
+		for i := 0; i < n; i++ {
+			v := float64(i % 100)
+			truth += v
+			agents[i] = pushsumrevert.New(gossip.NodeID(i), v,
+				pushsumrevert.Config{Lambda: 0.01, PushPull: model == gossip.PushPull})
+		}
+		truth /= n
+		e, err := New(Config{
+			Env: u, Agents: agents, Model: model, Seed: 3, Ticks: 60, Workers: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		ests := e.Estimates()
+		if len(ests) == 0 {
+			t.Fatalf("%v: no estimates", model)
+		}
+		var mean float64
+		for _, est := range ests {
+			mean += est
+		}
+		mean /= float64(len(ests))
+		if math.Abs(mean-truth) > 0.2*truth {
+			t.Errorf("%v: mean estimate %v, want ≈ %v", model, mean, truth)
+		}
+	}
+}
+
+func TestNegativeWorkersRejected(t *testing.T) {
+	u := env.NewUniform(2)
+	agents := []gossip.Agent{pushsum.NewAverage(0, 1), pushsum.NewAverage(1, 2)}
+	if _, err := New(Config{Env: u, Agents: agents, Ticks: 5, Workers: -1}); err == nil {
+		t.Error("negative Workers accepted")
+	}
+}

@@ -1,0 +1,288 @@
+// Sharded parallel round executor.
+//
+// The host array is split into Workers contiguous shards and the
+// BeginRound / Emit / deliver / EndRound phases run shard-parallel,
+// with a barrier between phases. Determinism holds because every host
+// owns a private PRNG split (host behaviour never depends on iteration
+// order), environments are read-only between Advance calls, and the
+// two order-sensitive steps are made order-identical to the
+// sequential executor:
+//
+//   - Push delivery: each shard buckets its emissions by destination
+//     shard, and the destination worker drains source shards in shard
+//     order. Shards are contiguous, so shard-then-host order is
+//     exactly ascending emitter order — every inbox sees payloads in
+//     the same sequence the sequential loop produces.
+//   - Push/pull exchange: peers are picked shard-parallel (picks only
+//     consume the initiator's PRNG), then exchanges are scheduled into
+//     conflict-free waves: an exchange lands in the first wave after
+//     the last wave touching either endpoint. Within a wave all
+//     exchanges are agent-disjoint, so running them concurrently
+//     commutes, and every pair of conflicting exchanges still executes
+//     in initiator order — the final state is byte-identical to the
+//     sequential loop.
+package gossip
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers returns a GOMAXPROCS-sized worker count for
+// Config.Workers.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// delivery is one routed payload in a shard outbox.
+type delivery struct {
+	to      NodeID
+	payload any
+}
+
+// pick is one push/pull peer selection.
+type pick struct {
+	peer NodeID
+	ok   bool
+}
+
+// parExec is the scratch state of the sharded executor.
+type parExec struct {
+	workers int
+	n       int
+
+	// outbox[src][dst] buffers deliveries emitted by shard src for
+	// hosts owned by shard dst, in emission order.
+	outbox   [][][]delivery
+	contacts []int64 // per-shard contact counts for one round
+	messages []int64 // per-shard message counts for one round
+
+	picks    []pick  // per-host peer selection (push/pull)
+	lastWave []int32 // per-host index of the last wave touching it
+	waves    [][]int32
+}
+
+func newParExec(n, workers int) *parExec {
+	if workers > n && n > 0 {
+		workers = n
+	}
+	p := &parExec{
+		workers:  workers,
+		n:        n,
+		outbox:   make([][][]delivery, workers),
+		contacts: make([]int64, workers),
+		messages: make([]int64, workers),
+		picks:    make([]pick, n),
+		lastWave: make([]int32, n),
+	}
+	for s := range p.outbox {
+		p.outbox[s] = make([][]delivery, workers)
+	}
+	return p
+}
+
+// bounds returns shard s's half-open host range.
+func (p *parExec) bounds(s int) (lo, hi int) {
+	return s * p.n / p.workers, (s + 1) * p.n / p.workers
+}
+
+// shardOf returns the shard owning host id.
+func (p *parExec) shardOf(id NodeID) int {
+	// Inverse of bounds: host id belongs to the shard whose range
+	// contains it. With lo = s*n/w, s = (id*w + w - 1) / n may be off
+	// by one at boundaries, so derive it directly.
+	s := int(id) * p.workers / p.n
+	for lo, _ := p.bounds(s); lo > int(id); lo, _ = p.bounds(s) {
+		s--
+	}
+	for _, hi := p.bounds(s); hi <= int(id); _, hi = p.bounds(s) {
+		s++
+	}
+	return s
+}
+
+// forShards runs fn(shard, lo, hi) on every shard concurrently and
+// waits for all of them.
+func (p *parExec) forShards(fn func(s, lo, hi int)) {
+	var wg sync.WaitGroup
+	wg.Add(p.workers)
+	for s := 0; s < p.workers; s++ {
+		go func(s int) {
+			defer wg.Done()
+			lo, hi := p.bounds(s)
+			fn(s, lo, hi)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// forChunks splits [0, m) into worker-count contiguous chunks and runs
+// fn on each concurrently.
+func (p *parExec) forChunks(m int, fn func(lo, hi int)) {
+	var wg sync.WaitGroup
+	wg.Add(p.workers)
+	for s := 0; s < p.workers; s++ {
+		go func(s int) {
+			defer wg.Done()
+			lo, hi := s*m/p.workers, (s+1)*m/p.workers
+			if lo < hi {
+				fn(lo, hi)
+			}
+		}(s)
+	}
+	wg.Wait()
+}
+
+// stepPushParallel is the sharded counterpart of stepPush.
+func (e *Engine) stepPushParallel(r int) {
+	p := e.par
+	p.forShards(func(s, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			if e.env.Alive(NodeID(id), r) {
+				e.agents[id].BeginRound(r)
+			}
+		}
+	})
+	// Emit phase: every shard buckets its emissions by destination
+	// shard. All emission is computed from start-of-round state, so
+	// shards never observe each other.
+	p.forShards(func(s, lo, hi int) {
+		var contacts, messages int64
+		out := p.outbox[s]
+		for id := lo; id < hi; id++ {
+			nid := NodeID(id)
+			if !e.env.Alive(nid, r) {
+				continue
+			}
+			rng := e.rngs[id]
+			pickPeer := func() (NodeID, bool) { return e.env.Pick(nid, r, rng) }
+			envs := e.agents[id].Emit(r, rng, pickPeer)
+			contacts++
+			for _, env := range envs {
+				// Messages to dead hosts are lost silently, exactly as
+				// in the sequential loop.
+				if e.env.Alive(env.To, r) {
+					d := p.shardOf(env.To)
+					out[d] = append(out[d], delivery{env.To, env.Payload})
+				}
+				messages++
+			}
+		}
+		p.contacts[s] = contacts
+		p.messages[s] = messages
+	})
+	for s := 0; s < p.workers; s++ {
+		e.contacts += p.contacts[s]
+		e.messages += p.messages[s]
+	}
+	// Deliver phase: the worker owning destination shard d drains
+	// source shards in shard order. Contiguous shards make
+	// shard-then-host order equal to ascending emitter order, so each
+	// host receives payloads in the sequential executor's sequence.
+	p.forShards(func(d, lo, hi int) {
+		for s := 0; s < p.workers; s++ {
+			box := p.outbox[s][d]
+			for _, dv := range box {
+				e.agents[dv.to].Receive(dv.payload)
+			}
+			p.outbox[s][d] = box[:0]
+		}
+		for id := lo; id < hi; id++ {
+			if e.env.Alive(NodeID(id), r) {
+				e.agents[id].EndRound(r)
+			}
+		}
+	})
+}
+
+// stepPushPullParallel is the sharded counterpart of stepPushPull.
+func (e *Engine) stepPushPullParallel(r int) {
+	p := e.par
+	p.forShards(func(s, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			if e.env.Alive(NodeID(id), r) {
+				e.agents[id].BeginRound(r)
+			}
+		}
+	})
+	// Pick phase: peer selection consumes only the initiator's private
+	// PRNG and read-only environment state, so it parallelizes freely
+	// and yields exactly the peers the sequential loop would draw.
+	p.forShards(func(s, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			nid := NodeID(id)
+			p.picks[id] = pick{}
+			if !e.env.Alive(nid, r) {
+				continue
+			}
+			if peer, ok := e.env.Pick(nid, r, e.rngs[id]); ok {
+				p.picks[id] = pick{peer: peer, ok: true}
+			}
+		}
+	})
+	// Schedule phase (sequential, cheap): assign each exchange to the
+	// first wave after the last wave touching either endpoint. Waves
+	// are then internally conflict-free while conflicting exchanges
+	// keep their initiator order across waves.
+	for i := range p.lastWave {
+		p.lastWave[i] = -1
+	}
+	waves := p.waves[:0]
+	for id := 0; id < p.n; id++ {
+		pk := p.picks[id]
+		if !pk.ok {
+			continue
+		}
+		e.contacts++
+		e.messages += 2 // state travels both ways
+		w := p.lastWave[id]
+		if pw := p.lastWave[pk.peer]; pw > w {
+			w = pw
+		}
+		w++
+		if int(w) == len(waves) {
+			if len(waves) < cap(waves) {
+				waves = waves[:len(waves)+1] // reuse last round's storage
+			} else {
+				waves = append(waves, nil)
+			}
+		}
+		waves[w] = append(waves[w], int32(id))
+		p.lastWave[id] = w
+		p.lastWave[pk.peer] = w
+	}
+	// Execute waves: a barrier between waves, shard-chunked
+	// parallelism inside each (all intra-wave exchanges are
+	// agent-disjoint). Conflict chains leave a tail of tiny waves;
+	// those run inline — spawning a goroutine fan-out per handful of
+	// exchanges costs more than the exchanges themselves, and
+	// intra-wave order is free, so inlining cannot change results.
+	for _, wave := range waves {
+		if len(wave) < 2*p.workers {
+			for _, id := range wave {
+				a := e.agents[id].(Exchanger)
+				b := e.agents[p.picks[id].peer].(Exchanger)
+				a.Exchange(b)
+			}
+			continue
+		}
+		wave := wave
+		p.forChunks(len(wave), func(lo, hi int) {
+			for _, id := range wave[lo:hi] {
+				a := e.agents[id].(Exchanger)
+				b := e.agents[p.picks[id].peer].(Exchanger)
+				a.Exchange(b)
+			}
+		})
+	}
+	// Recycle wave storage across rounds.
+	for i := range waves {
+		waves[i] = waves[i][:0]
+	}
+	p.waves = waves
+	p.forShards(func(s, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			if e.env.Alive(NodeID(id), r) {
+				e.agents[id].EndRound(r)
+			}
+		}
+	})
+}
