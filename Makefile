@@ -3,10 +3,15 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet ci
+.PHONY: build examples test race bench bench-json fmt vet vuln ci
 
 build:
 	$(GO) build ./...
+
+# Example main packages compile as part of ci so example rot fails the
+# build instead of surprising readers.
+examples:
+	$(GO) build ./examples/...
 
 test:
 	$(GO) test ./...
@@ -19,6 +24,16 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# Machine-readable benchmark snapshot: one pass of every benchmark with
+# -benchmem, raw text kept for benchstat, JSON (via cmd/benchjson) for
+# the per-PR perf-trajectory artifact.
+# No pipe on the go test line: a benchmark failure must fail the
+# target, not vanish into tee's exit status.
+bench-json:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./... > BENCH_raw.txt || { cat BENCH_raw.txt >&2; exit 1; }
+	@cat BENCH_raw.txt
+	$(GO) run ./cmd/benchjson -o BENCH_results.json BENCH_raw.txt
+
 fmt:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -28,4 +43,10 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench
+# Vulnerability scan; a separate target because it downloads the
+# scanner and vuln DB, so it needs network (CI runs it, offline
+# development can skip it).
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
+
+ci: fmt vet build examples race bench

@@ -14,7 +14,11 @@
 // Every Scale-driven benchmark runs twice: workers=0 is the
 // sequential round executor, workers=G a GOMAXPROCS-sized sharded
 // pool. The two modes produce byte-identical series, so the pair
-// tracks the parallel speedup across the whole figure suite.
+// tracks the parallel speedup across the whole figure suite. All
+// protocols implement gossip.AppendEmitter, so these figures also
+// exercise the zero-allocation message plane end to end — allocs/op
+// here is dominated by experiment setup (agents, metrics), not by
+// per-message traffic.
 package dynagg_bench
 
 import (

@@ -1,0 +1,65 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so CI can archive one BENCH_*.json
+// artifact per build and the perf trajectory of the engine can be
+// tracked across pull requests without scraping logs.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -benchtime 1x -run '^$' ./... | benchjson -o BENCH_results.json
+//
+// The parser understands the standard benchmark line format — name,
+// iteration count, then (value, unit) pairs — plus the goos/goarch/
+// pkg/cpu context lines the testing package prints. Unknown lines are
+// ignored, so mixed test-and-bench output is fine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	doc, err := Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Doc is the JSON document benchjson emits.
+type Doc struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Package is the import path from the preceding "pkg:" line.
+	Package string `json:"package,omitempty"`
+	// Name is the benchmark name with the -GOMAXPROCS suffix removed.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix, 1 when absent.
+	Procs int `json:"procs"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit to value: "ns/op", "B/op", "allocs/op",
+	// plus any custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Parse reads `go test -bench` text output and collects every
+// benchmark result line, carrying the goos/goarch/cpu/pkg context.
+func Parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		b, ok, err := parseBenchLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			b.Package = pkg
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// parseBenchLine parses one "BenchmarkName-P  N  v unit  v unit ..."
+// line; ok is false for lines that are not benchmark results.
+func parseBenchLine(line string) (Benchmark, bool, error) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false, nil
+	}
+	f := strings.Fields(line)
+	// A result line needs at least name, iterations, and one
+	// value/unit pair; "BenchmarkFoo" alone is a progress line.
+	if len(f) < 4 {
+		return Benchmark{}, false, nil
+	}
+	iterations, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil
+	}
+	name, procs := splitProcs(f[0])
+	b := Benchmark{
+		Name:       name,
+		Procs:      procs,
+		Iterations: iterations,
+		Metrics:    make(map[string]float64, (len(f)-2)/2),
+	}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("bad metric value %q in %q: %v", f[i], line, err)
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true, nil
+}
+
+// splitProcs strips the trailing -GOMAXPROCS suffix the testing
+// package appends to benchmark names ("BenchmarkEngine/push-4").
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 1
+	}
+	p, err := strconv.Atoi(name[i+1:])
+	if err != nil || p <= 0 {
+		return name, 1
+	}
+	return name[:i], p
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: dynagg/internal/gossip
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRoundPush-4         	     100	   1407760 ns/op	  552540 B/op	       4 allocs/op
+BenchmarkEngine/n=100000/push/workers=0-4  	       5	  11658897 ns/op	 6177168 B/op	       6 allocs/op
+PASS
+ok  	dynagg/internal/gossip	0.367s
+pkg: dynagg
+BenchmarkFig8UncorrelatedFailures/workers=0    	       2	 500000000 ns/op	 1000000 B/op	    5000 allocs/op
+BenchmarkFast	 1000000000	         0.25 ns/op
+--- BENCH: BenchmarkNoise
+    some indented free-form output
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" {
+		t.Errorf("goos/goarch = %q/%q", doc.Goos, doc.Goarch)
+	}
+	if !strings.Contains(doc.CPU, "Xeon") {
+		t.Errorf("cpu = %q", doc.CPU)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkRoundPush" || b.Procs != 4 || b.Package != "dynagg/internal/gossip" {
+		t.Errorf("first benchmark = %+v", b)
+	}
+	if b.Iterations != 100 || b.Metrics["ns/op"] != 1407760 || b.Metrics["allocs/op"] != 4 {
+		t.Errorf("first benchmark metrics = %+v", b)
+	}
+
+	e := doc.Benchmarks[1]
+	if e.Name != "BenchmarkEngine/n=100000/push/workers=0" || e.Procs != 4 {
+		t.Errorf("sub-benchmark name/procs = %q/%d", e.Name, e.Procs)
+	}
+	if e.Metrics["B/op"] != 6177168 {
+		t.Errorf("sub-benchmark B/op = %v", e.Metrics["B/op"])
+	}
+
+	// The pkg: context switches mid-stream.
+	f := doc.Benchmarks[2]
+	if f.Package != "dynagg" || f.Name != "BenchmarkFig8UncorrelatedFailures/workers=0" || f.Procs != 1 {
+		t.Errorf("third benchmark = %+v", f)
+	}
+
+	// Fractional metrics and missing -procs suffix.
+	fast := doc.Benchmarks[3]
+	if fast.Name != "BenchmarkFast" || fast.Procs != 1 || fast.Metrics["ns/op"] != 0.25 {
+		t.Errorf("fast benchmark = %+v", fast)
+	}
+}
+
+func TestParseIgnoresNonResultLines(t *testing.T) {
+	doc, err := Parse(strings.NewReader("PASS\nok  \tdynagg\t0.1s\nBenchmarkOnlyName\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from noise, want 0", len(doc.Benchmarks))
+	}
+}
+
+func TestParseRejectsCorruptMetric(t *testing.T) {
+	_, err := Parse(strings.NewReader("BenchmarkX 10 abc ns/op\n"))
+	if err == nil {
+		t.Error("corrupt metric value accepted")
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkFoo-8", "BenchmarkFoo", 8},
+		{"BenchmarkFoo", "BenchmarkFoo", 1},
+		{"BenchmarkFoo/n=10-2", "BenchmarkFoo/n=10", 2},
+		{"BenchmarkFoo/deep-dive", "BenchmarkFoo/deep-dive", 1},
+	} {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = %q, %d; want %q, %d", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}

@@ -51,7 +51,9 @@ type Common struct {
 	Model gossip.Model
 	// Workers sizes the engine's worker pool: 0 runs rounds
 	// sequentially, k >= 1 runs the sharded parallel executor with k
-	// workers. Results are byte-identical either way.
+	// workers. Results are byte-identical either way. Every built-in
+	// protocol implements gossip.AppendEmitter, so both executors run
+	// the zero-allocation message plane in steady state.
 	Workers int
 	// BeforeRound and AfterRound hooks observe or perturb the run
 	// (failure injection, metrics).
@@ -311,6 +313,10 @@ func (n *Network) Round() int { return n.engine.Round() }
 
 // Messages returns the cumulative protocol message count.
 func (n *Network) Messages() int64 { return n.engine.Messages() }
+
+// Contacts returns the cumulative count of gossip contacts initiated
+// (emissions under push, pairwise meetings under push/pull).
+func (n *Network) Contacts() int64 { return n.engine.Contacts() }
 
 // Estimates returns the live hosts' current estimates.
 func (n *Network) Estimates() []float64 { return n.engine.Estimates() }

@@ -1,0 +1,97 @@
+package gossip_test
+
+import (
+	"testing"
+
+	"dynagg/internal/env"
+	"dynagg/internal/gossip"
+	"dynagg/internal/protocol/pushsum"
+	"dynagg/internal/protocol/sketchcount"
+	"dynagg/internal/protocol/sketchreset"
+	"dynagg/internal/sketch"
+)
+
+// allocBudgetPerHostRound is the steady-state allocation budget of the
+// zero-allocation message plane: at most 2 heap allocations per host
+// per round. The real figure is ~0 — emission scratch, the arena inbox,
+// and the pick closure are all reused — but the budget leaves headroom
+// for incidental runtime allocations (map rehashing, slice growth on
+// population spikes) without letting a per-message regression through:
+// re-boxing payloads alone would cost 2-3 allocs per host-round.
+const allocBudgetPerHostRound = 2.0
+
+// allocsPerHostRound builds an engine over n uniform-gossip hosts,
+// warms it past the buffer-growth phase, and measures steady-state
+// allocations of Engine.Step per host.
+func allocsPerHostRound(t *testing.T, agents []gossip.Agent, workers int) float64 {
+	t.Helper()
+	n := len(agents)
+	engine, err := gossip.NewEngine(gossip.Config{
+		Env:     env.NewUniform(n),
+		Agents:  agents,
+		Model:   gossip.Push,
+		Seed:    3,
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: scratch slices, snapshot buffers, and the arena grow to
+	// their steady-state capacity during the first rounds.
+	engine.Run(4)
+	perStep := testing.AllocsPerRun(3, func() { engine.Step() })
+	return perStep / float64(n)
+}
+
+// TestPushSumAllocBudget pins the Push-Sum hot path: the paper's
+// baseline protocol must gossip through the round engine without
+// per-message heap traffic.
+func TestPushSumAllocBudget(t *testing.T) {
+	const n = 512
+	for _, workers := range []int{0, 2} {
+		agents := make([]gossip.Agent, n)
+		for i := range agents {
+			agents[i] = pushsum.NewAverage(gossip.NodeID(i), float64(i%101))
+		}
+		got := allocsPerHostRound(t, agents, workers)
+		if got > allocBudgetPerHostRound {
+			t.Errorf("workers=%d: %.3f allocs per host-round, budget %.1f",
+				workers, got, allocBudgetPerHostRound)
+		}
+	}
+}
+
+// TestSketchCountAllocBudget pins the Sketch-Count hot path: the
+// per-round sketch snapshot must come from the reused per-host buffer,
+// not a fresh clone.
+func TestSketchCountAllocBudget(t *testing.T) {
+	const n = 256
+	params := sketch.Params{Bins: 16, Levels: 16}
+	agents := make([]gossip.Agent, n)
+	for i := range agents {
+		agents[i] = sketchcount.NewCount(gossip.NodeID(i), params)
+	}
+	got := allocsPerHostRound(t, agents, 0)
+	if got > allocBudgetPerHostRound {
+		t.Errorf("%.3f allocs per host-round, budget %.1f",
+			got, allocBudgetPerHostRound)
+	}
+}
+
+// TestSketchResetAllocBudget pins Count-Sketch-Reset, the paper's
+// heaviest payload (the full m×L counter matrix per message).
+func TestSketchResetAllocBudget(t *testing.T) {
+	const n = 256
+	agents := make([]gossip.Agent, n)
+	for i := range agents {
+		agents[i] = sketchreset.New(gossip.NodeID(i), sketchreset.Config{
+			Params:      sketch.Params{Bins: 16, Levels: 16},
+			Identifiers: 1,
+		})
+	}
+	got := allocsPerHostRound(t, agents, 0)
+	if got > allocBudgetPerHostRound {
+		t.Errorf("%.3f allocs per host-round, budget %.1f",
+			got, allocBudgetPerHostRound)
+	}
+}

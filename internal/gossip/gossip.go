@@ -66,6 +66,28 @@ type Exchanger interface {
 	Exchange(peer Exchanger)
 }
 
+// AppendEmitter is the allocation-free emission contract. Instead of
+// returning a freshly allocated slice, the agent appends this round's
+// envelopes onto an engine-owned scratch slice and returns it —
+// exactly the append(dst, ...) idiom of the standard library.
+//
+// Payload lifetime is the difference from Emit: payloads appended by
+// EmitAppend may alias agent-owned scratch memory (a per-host Mass
+// field, a reused snapshot buffer) and are only valid until the
+// agent's next BeginRound. The round engine delivers every message
+// within the emitting round, so it can use EmitAppend everywhere; the
+// asynchronous live engine cannot (messages cross tick boundaries in
+// channels) and keeps calling Emit, whose payloads must have
+// independent lifetime.
+//
+// Agents implementing AppendEmitter must still implement Emit; the
+// engine's adapter falls back to it for agents that don't implement
+// this interface, so the Agent contract stays satisfiable unchanged.
+type AppendEmitter interface {
+	Agent
+	EmitAppend(dst []Envelope, round int, rng *xrand.Rand, pick PeerPicker) []Envelope
+}
+
 // Environment decides who can talk to whom and when, independent of
 // the protocol ("Gossip protocols are distinct from gossip
 // environments").
@@ -146,9 +168,29 @@ type Engine struct {
 	messages int64 // protocol payloads delivered (self-delivery included)
 	contacts int64 // pairwise meetings (push/pull) or emissions (push)
 
-	// scratch inbox: one slice per destination to keep delivery
-	// order deterministic and allocation low.
-	inbox [][]any
+	// emitters caches the AppendEmitter view of each agent (nil when
+	// the agent only implements Emit), so the per-host hot path costs
+	// an index load instead of an interface assertion.
+	emitters []AppendEmitter
+
+	// Flat arena inbox, reused across rounds (sequential push path).
+	// Emissions land in pending in emitter order; a stable bucket sort
+	// by destination rebuilds arena each round, with host id's segment
+	// at arena[offsets[id]:offsets[id]+counts[id]] — still in emitter
+	// order, exactly the delivery sequence the old per-host inboxes
+	// produced, but with zero steady-state allocation.
+	pending []Envelope
+	arena   []Envelope
+	counts  []int32
+	offsets []int32
+	cursor  []int32
+
+	// pick is the reusable peer-picker closure handed to agents in the
+	// sequential executor; pickID/pickRound are its captured state,
+	// rewritten per host instead of allocating a closure per host.
+	pick      PeerPicker
+	pickID    NodeID
+	pickRound int
 
 	// par holds the sharded executor state; nil in sequential mode.
 	par *parExec
@@ -178,19 +220,42 @@ func NewEngine(cfg Config) (*Engine, error) {
 	for i := range rngs {
 		rngs[i] = root.Split(uint64(i))
 	}
+	n := len(cfg.Agents)
 	e := &Engine{
-		env:    cfg.Env,
-		agents: cfg.Agents,
-		model:  cfg.Model,
-		rngs:   rngs,
-		before: cfg.BeforeRound,
-		after:  cfg.AfterRound,
-		inbox:  make([][]any, len(cfg.Agents)),
+		env:      cfg.Env,
+		agents:   cfg.Agents,
+		model:    cfg.Model,
+		rngs:     rngs,
+		before:   cfg.BeforeRound,
+		after:    cfg.AfterRound,
+		emitters: make([]AppendEmitter, n),
+		counts:   make([]int32, n),
+		offsets:  make([]int32, n),
+		cursor:   make([]int32, n),
+	}
+	for i, a := range cfg.Agents {
+		if ae, ok := a.(AppendEmitter); ok {
+			e.emitters[i] = ae
+		}
+	}
+	e.pick = func() (NodeID, bool) {
+		return e.env.Pick(e.pickID, e.pickRound, e.rngs[e.pickID])
 	}
 	if cfg.Workers > 0 {
-		e.par = newParExec(len(cfg.Agents), cfg.Workers)
+		e.par = newParExec(e, n, cfg.Workers)
 	}
 	return e, nil
+}
+
+// emitInto collects host id's emissions for round r onto dst: through
+// EmitAppend when the agent supports it, otherwise through the Emit
+// adapter (one slice + payload boxing per call, the legacy cost).
+func (e *Engine) emitInto(dst []Envelope, id int, r int, pick PeerPicker) []Envelope {
+	rng := e.rngs[id]
+	if ae := e.emitters[id]; ae != nil {
+		return ae.EmitAppend(dst, r, rng, pick)
+	}
+	return append(dst, e.agents[id].Emit(r, rng, pick)...)
 }
 
 // Workers returns the size of the engine's worker pool; 0 means the
@@ -263,36 +328,67 @@ func (e *Engine) stepPush(r int) {
 	}
 	// Collect all emissions before delivering anything: the round is
 	// synchronous, so every message is computed from start-of-round
-	// state.
+	// state. Emissions accumulate in the flat pending buffer (emitter
+	// order); messages to dead hosts are dropped here, silently — that
+	// is the point of the dynamic protocols.
+	pending := e.pending[:0]
+	counts := e.counts
+	for i := range counts {
+		counts[i] = 0
+	}
+	e.pickRound = r
 	for id := 0; id < n; id++ {
 		nid := NodeID(id)
 		if !e.env.Alive(nid, r) {
 			continue
 		}
-		rng := e.rngs[id]
-		pick := func() (NodeID, bool) { return e.env.Pick(nid, r, rng) }
-		envs := e.agents[id].Emit(r, rng, pick)
+		e.pickID = nid
+		start := len(pending)
+		pending = e.emitInto(pending, id, r, e.pick)
 		e.contacts++
-		for _, env := range envs {
-			// Messages to dead hosts are lost silently: that is the
-			// point of the dynamic protocols.
-			if e.env.Alive(env.To, r) {
-				e.inbox[env.To] = append(e.inbox[env.To], env.Payload)
-			}
+		kept := start
+		for _, env := range pending[start:] {
 			e.messages++
+			if e.env.Alive(env.To, r) {
+				pending[kept] = env
+				counts[env.To]++
+				kept++
+			}
 		}
+		pending = pending[:kept]
 	}
+	e.pending = pending
+	// Bucket sort by destination into the arena: offsets are prefix
+	// sums of per-host counts, and a stable scatter keeps each host's
+	// segment in emitter order.
+	offsets, cursor := e.offsets, e.cursor
+	var sum int32
+	for i, c := range counts {
+		offsets[i] = sum
+		cursor[i] = sum
+		sum += c
+	}
+	arena := e.arena
+	if cap(arena) < len(pending) {
+		arena = make([]Envelope, len(pending))
+	} else {
+		arena = arena[:len(pending)]
+	}
+	for _, env := range pending {
+		arena[cursor[env.To]] = env
+		cursor[env.To]++
+	}
+	e.arena = arena
 	for id := 0; id < n; id++ {
-		box := e.inbox[id]
+		box := arena[offsets[id]:cursor[id]]
 		if len(box) == 0 {
 			continue
 		}
 		if e.env.Alive(NodeID(id), r) {
-			for _, p := range box {
-				e.agents[id].Receive(p)
+			for _, env := range box {
+				e.agents[id].Receive(env.Payload)
 			}
 		}
-		e.inbox[id] = box[:0]
 	}
 	for id := 0; id < n; id++ {
 		if e.env.Alive(NodeID(id), r) {

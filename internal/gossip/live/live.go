@@ -14,7 +14,10 @@
 // Restrictions compared to the round engine: the environment must be
 // time-invariant (Uniform or Grid; contact traces need the global
 // clock that rounds provide), and per-run results are not reproducible
-// because goroutine scheduling is not.
+// because goroutine scheduling is not. The live engine also always
+// drives agents through Emit rather than gossip.AppendEmitter:
+// messages cross tick boundaries in channels, so payloads must not
+// alias emitter-owned scratch.
 package live
 
 import (
@@ -184,6 +187,11 @@ func (e *Engine) pushTick(agent gossip.Agent, id gossip.NodeID, tick int, rng *x
 	}
 drained:
 	pick := func() (gossip.NodeID, bool) { return e.cfg.Env.Pick(id, tick, rng) }
+	// Deliberately Emit, not EmitAppend: payloads sit in channels
+	// across tick boundaries here, so they need independent lifetime.
+	// gossip.AppendEmitter payloads may alias emitter scratch that is
+	// rewritten next tick — only the synchronous round engine, which
+	// delivers within the emitting round, may use them.
 	envs := agent.Emit(tick, rng, pick)
 	// Self messages are the host's own retained share: they must land
 	// in the same round (before EndRound folds the inbox) and must

@@ -44,6 +44,14 @@ type pick struct {
 	ok   bool
 }
 
+// shardPick is the captured state of one shard's reusable peer-picker
+// closure: rewritten per host instead of allocating a closure per
+// host. Only the owning shard's worker touches its entry.
+type shardPick struct {
+	id    NodeID
+	round int
+}
+
 // parExec is the scratch state of the sharded executor.
 type parExec struct {
 	workers int
@@ -55,26 +63,41 @@ type parExec struct {
 	contacts []int64 // per-shard contact counts for one round
 	messages []int64 // per-shard message counts for one round
 
+	// emitBuf[s] is shard s's reusable emission scratch, reset per
+	// host; pickState[s]/pickers[s] are its reusable picker closure.
+	emitBuf   [][]Envelope
+	pickState []shardPick
+	pickers   []PeerPicker
+
 	picks    []pick  // per-host peer selection (push/pull)
 	lastWave []int32 // per-host index of the last wave touching it
 	waves    [][]int32
 }
 
-func newParExec(n, workers int) *parExec {
+func newParExec(e *Engine, n, workers int) *parExec {
 	if workers > n && n > 0 {
 		workers = n
 	}
 	p := &parExec{
-		workers:  workers,
-		n:        n,
-		outbox:   make([][][]delivery, workers),
-		contacts: make([]int64, workers),
-		messages: make([]int64, workers),
-		picks:    make([]pick, n),
-		lastWave: make([]int32, n),
+		workers:   workers,
+		n:         n,
+		outbox:    make([][][]delivery, workers),
+		contacts:  make([]int64, workers),
+		messages:  make([]int64, workers),
+		emitBuf:   make([][]Envelope, workers),
+		pickState: make([]shardPick, workers),
+		pickers:   make([]PeerPicker, workers),
+		picks:     make([]pick, n),
+		lastWave:  make([]int32, n),
 	}
 	for s := range p.outbox {
 		p.outbox[s] = make([][]delivery, workers)
+	}
+	for s := range p.pickers {
+		st := &p.pickState[s]
+		p.pickers[s] = func() (NodeID, bool) {
+			return e.env.Pick(st.id, st.round, e.rngs[st.id])
+		}
 	}
 	return p
 }
@@ -147,16 +170,19 @@ func (e *Engine) stepPushParallel(r int) {
 	p.forShards(func(s, lo, hi int) {
 		var contacts, messages int64
 		out := p.outbox[s]
+		buf := p.emitBuf[s]
+		st := &p.pickState[s]
+		st.round = r
+		pickPeer := p.pickers[s]
 		for id := lo; id < hi; id++ {
 			nid := NodeID(id)
 			if !e.env.Alive(nid, r) {
 				continue
 			}
-			rng := e.rngs[id]
-			pickPeer := func() (NodeID, bool) { return e.env.Pick(nid, r, rng) }
-			envs := e.agents[id].Emit(r, rng, pickPeer)
+			st.id = nid
+			buf = e.emitInto(buf[:0], id, r, pickPeer)
 			contacts++
-			for _, env := range envs {
+			for _, env := range buf {
 				// Messages to dead hosts are lost silently, exactly as
 				// in the sequential loop.
 				if e.env.Alive(env.To, r) {
@@ -166,6 +192,7 @@ func (e *Engine) stepPushParallel(r int) {
 				messages++
 			}
 		}
+		p.emitBuf[s] = buf
 		p.contacts[s] = contacts
 		p.messages[s] = messages
 	})

@@ -60,11 +60,17 @@ type Node struct {
 	inEpoch  int // highest epoch seen in this round's inbox
 	received bool
 
+	// out is the scratch payload referenced by EmitAppend envelopes.
+	out Message
+
 	prevEst    float64
 	hasPrevEst bool
 }
 
-var _ gossip.Agent = (*Node)(nil)
+var (
+	_ gossip.Agent         = (*Node)(nil)
+	_ gossip.AppendEmitter = (*Node)(nil)
+)
 
 // New returns an epoch-averaging host with data value v0.
 func New(id gossip.NodeID, v0 float64, cfg Config) *Node {
@@ -118,10 +124,35 @@ func (n *Node) Emit(round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip
 	}
 }
 
+// EmitAppend implements gossip.AppendEmitter: the same emission with
+// round-scoped payloads pointing at per-host scratch.
+func (n *Node) EmitAppend(dst []gossip.Envelope, round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip.Envelope {
+	peer, ok := pick()
+	if !ok {
+		n.out = Message{Epoch: n.epoch, W: n.w, V: n.v}
+		return append(dst, gossip.Envelope{To: n.id, Payload: &n.out})
+	}
+	n.out = Message{Epoch: n.epoch, W: n.w / 2, V: n.v / 2}
+	return append(dst,
+		gossip.Envelope{To: peer, Payload: &n.out},
+		gossip.Envelope{To: n.id, Payload: &n.out},
+	)
+}
+
 // Receive implements gossip.Agent: mass from older epochs is dropped;
-// mass from a newer epoch triggers adoption at round end.
+// mass from a newer epoch triggers adoption at round end. Both the
+// boxed Message of Emit and the scratch-backed *Message of EmitAppend
+// are accepted.
 func (n *Node) Receive(payload any) {
-	m := payload.(Message)
+	var m Message
+	switch p := payload.(type) {
+	case *Message:
+		m = *p
+	case Message:
+		m = p
+	default:
+		panic(fmt.Sprintf("epoch: unexpected payload %T", payload))
+	}
 	switch {
 	case m.Epoch < n.inEpoch:
 		return // stale epoch: discard

@@ -27,7 +27,7 @@ package extremes
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"dynagg/internal/gossip"
 	"dynagg/internal/xrand"
@@ -101,6 +101,14 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// Table is the gossiped candidate-table payload of EmitAppend: a
+// snapshot of the emitter's table taken at emission time, wrapped in a
+// struct so a pointer to it crosses the Envelope.Payload interface
+// without boxing a slice header.
+type Table struct {
+	Candidates []Candidate
+}
+
 // Node is one dynamic-extremum host.
 type Node struct {
 	id    gossip.NodeID
@@ -110,11 +118,18 @@ type Node struct {
 	// table holds the best candidates, sorted best-first. The host's
 	// own candidate is always present with age 0.
 	table []Candidate
+
+	// snap is the reusable snapshot sent by EmitAppend; byOwner and
+	// mergeBuf are normalize's reusable scratch.
+	snap     Table
+	byOwner  map[gossip.NodeID]Candidate
+	mergeBuf []Candidate
 }
 
 var (
-	_ gossip.Agent     = (*Node)(nil)
-	_ gossip.Exchanger = (*Node)(nil)
+	_ gossip.Agent         = (*Node)(nil)
+	_ gossip.Exchanger     = (*Node)(nil)
+	_ gossip.AppendEmitter = (*Node)(nil)
 )
 
 // New returns an extremes host contributing the given value.
@@ -155,11 +170,17 @@ func (n *Node) better(a, b Candidate) bool {
 
 // normalize sorts best-first, deduplicates by owner keeping the
 // youngest age, drops aged-out candidates, re-pins the own entry, and
-// truncates to the table size.
+// truncates to the table size. The dedup map is reused across calls so
+// the steady state allocates nothing.
 func (n *Node) normalize() {
 	// Dedup by owner: keep min age (per-owner value is fixed, so any
 	// duplicate differs only in age).
-	byOwner := make(map[gossip.NodeID]Candidate, len(n.table))
+	if n.byOwner == nil {
+		n.byOwner = make(map[gossip.NodeID]Candidate, len(n.table)+1)
+	} else {
+		clear(n.byOwner)
+	}
+	byOwner := n.byOwner
 	for _, c := range n.table {
 		if prev, ok := byOwner[c.Owner]; !ok || c.Age < prev.Age {
 			byOwner[c.Owner] = c
@@ -175,7 +196,15 @@ func (n *Node) normalize() {
 		}
 		n.table = append(n.table, c)
 	}
-	sort.Slice(n.table, func(i, j int) bool { return n.better(n.table[i], n.table[j]) })
+	slices.SortFunc(n.table, func(a, b Candidate) int {
+		if n.better(a, b) {
+			return -1
+		}
+		if n.better(b, a) {
+			return 1
+		}
+		return 0
+	})
 	if len(n.table) > n.cfg.TableSize {
 		n.table = n.table[:n.cfg.TableSize]
 	}
@@ -203,23 +232,44 @@ func (n *Node) Emit(round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip
 	return []gossip.Envelope{{To: peer, Payload: snapshot}}
 }
 
+// EmitAppend implements gossip.AppendEmitter: the same emission, but
+// the table snapshot is copied into a per-host buffer reused across
+// rounds — amortized zero allocation.
+func (n *Node) EmitAppend(dst []gossip.Envelope, round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip.Envelope {
+	peer, ok := pick()
+	if !ok {
+		return dst
+	}
+	n.snap.Candidates = append(n.snap.Candidates[:0], n.table...)
+	return append(dst, gossip.Envelope{To: peer, Payload: &n.snap})
+}
+
 // Receive implements gossip.Agent: merge the incoming table. Merging is
 // idempotent and order-insensitive (set union + min-age + truncation),
-// so applying on arrival is safe.
+// so applying on arrival is safe. Both the boxed []Candidate of Emit
+// and the scratch-backed *Table of EmitAppend are accepted.
 func (n *Node) Receive(payload any) {
-	n.table = append(n.table, payload.([]Candidate)...)
+	switch p := payload.(type) {
+	case *Table:
+		n.table = append(n.table, p.Candidates...)
+	case []Candidate:
+		n.table = append(n.table, p...)
+	default:
+		panic(fmt.Sprintf("extremes: unexpected payload %T", payload))
+	}
 	n.normalize()
 }
 
 // EndRound implements gossip.Agent.
 func (n *Node) EndRound(round int) {}
 
-// Exchange implements gossip.Exchanger: mutual table merge.
+// Exchange implements gossip.Exchanger: mutual table merge. The merge
+// buffer is reused across calls.
 func (n *Node) Exchange(peer gossip.Exchanger) {
 	p := peer.(*Node)
-	merged := make([]Candidate, 0, len(n.table)+len(p.table))
-	merged = append(merged, n.table...)
+	merged := append(n.mergeBuf[:0], n.table...)
 	merged = append(merged, p.table...)
+	n.mergeBuf = merged
 	n.table = append(n.table[:0], merged...)
 	n.normalize()
 	p.table = append(p.table[:0], merged...)

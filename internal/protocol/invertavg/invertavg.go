@@ -15,6 +15,8 @@
 package invertavg
 
 import (
+	"fmt"
+
 	"dynagg/internal/gossip"
 	"dynagg/internal/protocol/pushsumrevert"
 	"dynagg/internal/protocol/sketchreset"
@@ -33,11 +35,16 @@ type payload struct {
 type Node struct {
 	count *sketchreset.Node
 	avg   *pushsumrevert.Node
+
+	// wrapBuf holds EmitAppend's routing wrappers, reused across
+	// rounds; envelopes point into it.
+	wrapBuf []payload
 }
 
 var (
-	_ gossip.Agent     = (*Node)(nil)
-	_ gossip.Exchanger = (*Node)(nil)
+	_ gossip.Agent         = (*Node)(nil)
+	_ gossip.Exchanger     = (*Node)(nil)
+	_ gossip.AppendEmitter = (*Node)(nil)
 )
 
 // New returns an Invert-Average host with data value value.
@@ -77,9 +84,43 @@ func (n *Node) Emit(round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip
 	return out
 }
 
-// Receive implements gossip.Agent.
+// EmitAppend implements gossip.AppendEmitter: both sub-protocols emit
+// through their own EmitAppend, and the routing wrappers live in a
+// per-host buffer reused across rounds — amortized zero allocation.
+func (n *Node) EmitAppend(dst []gossip.Envelope, round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip.Envelope {
+	start := len(dst)
+	dst = n.count.EmitAppend(dst, round, rng, pick)
+	mid := len(dst)
+	dst = n.avg.EmitAppend(dst, round, rng, pick)
+	need := len(dst) - start
+	if cap(n.wrapBuf) < need {
+		n.wrapBuf = make([]payload, need)
+	}
+	buf := n.wrapBuf[:need]
+	for i := start; i < len(dst); i++ {
+		w := &buf[i-start]
+		if i < mid {
+			*w = payload{count: dst[i].Payload}
+		} else {
+			*w = payload{avg: dst[i].Payload}
+		}
+		dst[i].Payload = w
+	}
+	return dst
+}
+
+// Receive implements gossip.Agent. Both the boxed payload of Emit and
+// the scratch-backed *payload of EmitAppend are accepted.
 func (n *Node) Receive(p any) {
-	pl := p.(payload)
+	var pl payload
+	switch v := p.(type) {
+	case *payload:
+		pl = *v
+	case payload:
+		pl = v
+	default:
+		panic(fmt.Sprintf("invertavg: unexpected payload %T", p))
+	}
 	if pl.count != nil {
 		n.count.Receive(pl.count)
 	}

@@ -17,6 +17,7 @@
 package moments
 
 import (
+	"fmt"
 	"math"
 
 	"dynagg/internal/gossip"
@@ -51,11 +52,15 @@ type Node struct {
 	w, v, q float64
 
 	inW, inV, inQ float64
+
+	// out is the scratch payload referenced by EmitAppend envelopes.
+	out Mass
 }
 
 var (
-	_ gossip.Agent     = (*Node)(nil)
-	_ gossip.Exchanger = (*Node)(nil)
+	_ gossip.Agent         = (*Node)(nil)
+	_ gossip.Exchanger     = (*Node)(nil)
+	_ gossip.AppendEmitter = (*Node)(nil)
 )
 
 // New returns a moments host with data value v0.
@@ -97,9 +102,39 @@ func (n *Node) Emit(round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip
 	}
 }
 
-// Receive implements gossip.Agent.
+// EmitAppend implements gossip.AppendEmitter: the same emission with
+// round-scoped payloads pointing at per-host scratch.
+func (n *Node) EmitAppend(dst []gossip.Envelope, round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip.Envelope {
+	λ := n.cfg.Lambda
+	half := Mass{
+		W: ((1-λ)*n.w + λ) / 2,
+		V: ((1-λ)*n.v + λ*n.v0) / 2,
+		Q: ((1-λ)*n.q + λ*n.q0) / 2,
+	}
+	peer, ok := pick()
+	if !ok {
+		n.out = Mass{W: 2 * half.W, V: 2 * half.V, Q: 2 * half.Q}
+		return append(dst, gossip.Envelope{To: n.id, Payload: &n.out})
+	}
+	n.out = half
+	return append(dst,
+		gossip.Envelope{To: peer, Payload: &n.out},
+		gossip.Envelope{To: n.id, Payload: &n.out},
+	)
+}
+
+// Receive implements gossip.Agent. Both the boxed Mass of Emit and
+// the scratch-backed *Mass of EmitAppend are accepted.
 func (n *Node) Receive(payload any) {
-	m := payload.(Mass)
+	var m Mass
+	switch p := payload.(type) {
+	case *Mass:
+		m = *p
+	case Mass:
+		m = p
+	default:
+		panic(fmt.Sprintf("moments: unexpected payload %T", payload))
+	}
 	n.inW += m.W
 	n.inV += m.V
 	n.inQ += m.Q

@@ -17,6 +17,7 @@ package multi
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"dynagg/internal/gossip"
@@ -32,6 +33,13 @@ type payload struct {
 	masses map[string]any // pushsumrevert payloads by aggregate name
 }
 
+// outBundle is one destination's accumulated payload in EmitAppend's
+// reusable scratch.
+type outBundle struct {
+	to gossip.NodeID
+	p  payload
+}
+
 // Node runs one Count-Sketch-Reset host plus one Push-Sum-Revert host
 // per named aggregate at the same simulated device.
 type Node struct {
@@ -39,11 +47,17 @@ type Node struct {
 	count *sketchreset.Node
 	aggs  map[string]*pushsumrevert.Node
 	names []string // sorted, for deterministic iteration
+
+	// EmitAppend scratch, reused across rounds: sub-protocol emissions
+	// and per-destination bundles (maps cleared, not reallocated).
+	subBuf  []gossip.Envelope
+	bundles []outBundle
 }
 
 var (
-	_ gossip.Agent     = (*Node)(nil)
-	_ gossip.Exchanger = (*Node)(nil)
+	_ gossip.Agent         = (*Node)(nil)
+	_ gossip.Exchanger     = (*Node)(nil)
+	_ gossip.AppendEmitter = (*Node)(nil)
 )
 
 // New returns a multi-aggregate host. values maps aggregate names to
@@ -154,10 +168,84 @@ func (n *Node) Emit(round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip
 	return out
 }
 
-// Receive implements gossip.Agent.
+// bundleFor returns the reusable bundle accumulating payload parts for
+// one destination, creating (or recycling) it on first use. Linear
+// search is fine: a round emits to at most a handful of destinations.
+func (n *Node) bundleFor(to gossip.NodeID) *payload {
+	for i := range n.bundles {
+		if n.bundles[i].to == to {
+			return &n.bundles[i].p
+		}
+	}
+	if len(n.bundles) < cap(n.bundles) {
+		n.bundles = n.bundles[:len(n.bundles)+1]
+	} else {
+		n.bundles = append(n.bundles, outBundle{})
+	}
+	b := &n.bundles[len(n.bundles)-1]
+	b.to = to
+	b.p.count = nil
+	if b.p.masses == nil {
+		b.p.masses = make(map[string]any, len(n.names))
+	} else {
+		clear(b.p.masses)
+	}
+	return &b.p
+}
+
+// EmitAppend implements gossip.AppendEmitter: sub-protocols emit
+// through their own EmitAppend into a reusable scratch slice, payload
+// parts are grouped into per-destination bundles whose maps are
+// cleared and reused each round, and one envelope per destination is
+// appended in ascending-destination order — amortized zero allocation.
+func (n *Node) EmitAppend(dst []gossip.Envelope, round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip.Envelope {
+	var chosen gossip.NodeID
+	havePeer := false
+	sharedPick := func() (gossip.NodeID, bool) {
+		if !havePeer {
+			chosen, havePeer = pick()
+			if !havePeer {
+				return 0, false
+			}
+		}
+		return chosen, true
+	}
+	n.bundles = n.bundles[:0]
+	sub := n.subBuf[:0]
+	start := 0
+	for _, name := range n.names {
+		sub = n.aggs[name].EmitAppend(sub, round, rng, sharedPick)
+		for _, env := range sub[start:] {
+			n.bundleFor(env.To).masses[name] = env.Payload
+		}
+		start = len(sub)
+	}
+	sub = n.count.EmitAppend(sub, round, rng, sharedPick)
+	for _, env := range sub[start:] {
+		n.bundleFor(env.To).count = env.Payload
+	}
+	n.subBuf = sub
+	// Deterministic envelope order; pointers are taken only after the
+	// bundle slice has stopped moving (sorting swaps values in place).
+	slices.SortFunc(n.bundles, func(a, b outBundle) int {
+		return int(a.to) - int(b.to)
+	})
+	for i := range n.bundles {
+		dst = append(dst, gossip.Envelope{To: n.bundles[i].to, Payload: &n.bundles[i].p})
+	}
+	return dst
+}
+
+// Receive implements gossip.Agent. Both the boxed payload of Emit and
+// the scratch-backed *payload of EmitAppend are accepted.
 func (n *Node) Receive(p any) {
-	pl, ok := p.(payload)
-	if !ok {
+	var pl payload
+	switch v := p.(type) {
+	case *payload:
+		pl = *v
+	case payload:
+		pl = v
+	default:
 		panic(fmt.Sprintf("multi: unexpected payload %T", p))
 	}
 	if pl.count != nil {

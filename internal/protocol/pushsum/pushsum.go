@@ -20,6 +20,8 @@
 package pushsum
 
 import (
+	"fmt"
+
 	"dynagg/internal/gossip"
 	"dynagg/internal/xrand"
 )
@@ -38,13 +40,19 @@ type Node struct {
 	inW, inV float64
 	received bool
 
+	// out is the scratch payload referenced by EmitAppend envelopes;
+	// it is rewritten each round after the previous round's messages
+	// have been delivered.
+	out Mass
+
 	est    float64
 	hasEst bool
 }
 
 var (
-	_ gossip.Agent     = (*Node)(nil)
-	_ gossip.Exchanger = (*Node)(nil)
+	_ gossip.Agent         = (*Node)(nil)
+	_ gossip.Exchanger     = (*Node)(nil)
+	_ gossip.AppendEmitter = (*Node)(nil)
 )
 
 // New returns a Push-Sum host with initial value v0 and weight w0.
@@ -93,7 +101,8 @@ func (n *Node) BeginRound(round int) {
 }
 
 // Emit implements gossip.Agent: half the mass to a random peer, half
-// to self (Figure 1 steps 1-2).
+// to self (Figure 1 steps 1-2). Payloads are independent values, safe
+// for asynchronous delivery (the live engine's contract).
 func (n *Node) Emit(round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip.Envelope {
 	half := Mass{W: n.w / 2, V: n.v / 2}
 	peer, ok := pick()
@@ -107,9 +116,35 @@ func (n *Node) Emit(round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip
 	}
 }
 
-// Receive implements gossip.Agent (Figure 1 step 3).
+// EmitAppend implements gossip.AppendEmitter: the same emission with
+// round-scoped payloads pointing at per-host scratch, so the steady
+// state performs no heap allocation at all.
+func (n *Node) EmitAppend(dst []gossip.Envelope, round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip.Envelope {
+	peer, ok := pick()
+	if !ok {
+		n.out = Mass{W: n.w, V: n.v}
+		return append(dst, gossip.Envelope{To: n.id, Payload: &n.out})
+	}
+	n.out = Mass{W: n.w / 2, V: n.v / 2}
+	return append(dst,
+		gossip.Envelope{To: peer, Payload: &n.out},
+		gossip.Envelope{To: n.id, Payload: &n.out},
+	)
+}
+
+// Receive implements gossip.Agent (Figure 1 step 3). Both the boxed
+// Mass of Emit and the scratch-backed *Mass of EmitAppend are
+// accepted.
 func (n *Node) Receive(payload any) {
-	m := payload.(Mass)
+	var m Mass
+	switch p := payload.(type) {
+	case *Mass:
+		m = *p
+	case Mass:
+		m = p
+	default:
+		panic(fmt.Sprintf("pushsum: unexpected payload %T", payload))
+	}
 	n.inW += m.W
 	n.inV += m.V
 	n.received = true

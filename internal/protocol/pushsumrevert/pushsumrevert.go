@@ -116,6 +116,11 @@ type Node struct {
 	inW, inV float64
 	inMsgs   int
 
+	// out is the scratch payload referenced by EmitAppend envelopes
+	// (every envelope of a round carries the same mass value, so one
+	// scratch slot suffices even for Full-Transfer's N parcels).
+	out Mass
+
 	// Full-Transfer estimate window: the last Window rounds in which
 	// mass arrived, as a ring buffer.
 	histW, histV []float64
@@ -127,8 +132,9 @@ type Node struct {
 }
 
 var (
-	_ gossip.Agent     = (*Node)(nil)
-	_ gossip.Exchanger = (*Node)(nil)
+	_ gossip.Agent         = (*Node)(nil)
+	_ gossip.Exchanger     = (*Node)(nil)
+	_ gossip.AppendEmitter = (*Node)(nil)
 )
 
 // New returns a Push-Sum-Revert host with data value v0.
@@ -223,9 +229,66 @@ func (n *Node) Emit(round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip
 	}
 }
 
-// Receive implements gossip.Agent.
+// EmitAppend implements gossip.AppendEmitter: the same emissions as
+// Emit with round-scoped payloads pointing at per-host scratch, so the
+// steady state performs no heap allocation.
+func (n *Node) EmitAppend(dst []gossip.Envelope, round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip.Envelope {
+	λ := n.cfg.Lambda
+	if n.cfg.FullTransfer {
+		N := n.cfg.Parcels
+		n.out = Mass{
+			W: ((1-λ)*n.w + λ*n.w0) / float64(N),
+			V: ((1-λ)*n.v + λ*n.mv0) / float64(N),
+		}
+		for i := 0; i < N; i++ {
+			if peer, ok := pick(); ok {
+				dst = append(dst, gossip.Envelope{To: peer, Payload: &n.out})
+			} else {
+				dst = append(dst, gossip.Envelope{To: n.id, Payload: &n.out})
+			}
+		}
+		return dst
+	}
+	if n.cfg.Adaptive {
+		peer, ok := pick()
+		if !ok {
+			n.out = Mass{W: n.w, V: n.v}
+			return append(dst, gossip.Envelope{To: n.id, Payload: &n.out})
+		}
+		n.out = Mass{W: n.w / 2, V: n.v / 2}
+		return append(dst,
+			gossip.Envelope{To: peer, Payload: &n.out},
+			gossip.Envelope{To: n.id, Payload: &n.out},
+		)
+	}
+	half := Mass{
+		W: ((1-λ)*n.w + λ*n.w0) / 2,
+		V: ((1-λ)*n.v + λ*n.mv0) / 2,
+	}
+	peer, ok := pick()
+	if !ok {
+		n.out = Mass{W: 2 * half.W, V: 2 * half.V}
+		return append(dst, gossip.Envelope{To: n.id, Payload: &n.out})
+	}
+	n.out = half
+	return append(dst,
+		gossip.Envelope{To: peer, Payload: &n.out},
+		gossip.Envelope{To: n.id, Payload: &n.out},
+	)
+}
+
+// Receive implements gossip.Agent. Both the boxed Mass of Emit and
+// the scratch-backed *Mass of EmitAppend are accepted.
 func (n *Node) Receive(payload any) {
-	m := payload.(Mass)
+	var m Mass
+	switch p := payload.(type) {
+	case *Mass:
+		m = *p
+	case Mass:
+		m = p
+	default:
+		panic(fmt.Sprintf("pushsumrevert: unexpected payload %T", payload))
+	}
 	if n.cfg.Adaptive {
 		// §III-A: add λ/2 of the initial mass per message received,
 		// damping the received mass by (1-λ) so that with the expected

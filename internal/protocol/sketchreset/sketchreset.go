@@ -90,13 +90,26 @@ type Node struct {
 
 	cutoff []float64 // precomputed f(k) per level
 
+	// snap is the reusable snapshot sent by EmitAppend; its Ages
+	// buffer is allocated lazily and rewritten every round.
+	snap Counters
+
 	est    float64
 	hasEst bool
 }
 
+// Counters is the gossiped age-counter payload of EmitAppend: a
+// snapshot of the m×L matrix taken at emission time, wrapped in a
+// struct so a pointer to it crosses the Envelope.Payload interface
+// without boxing a slice header.
+type Counters struct {
+	Ages []uint8
+}
+
 var (
-	_ gossip.Agent     = (*Node)(nil)
-	_ gossip.Exchanger = (*Node)(nil)
+	_ gossip.Agent         = (*Node)(nil)
+	_ gossip.Exchanger     = (*Node)(nil)
+	_ gossip.AppendEmitter = (*Node)(nil)
 )
 
 // New returns a Count-Sketch-Reset host. Identifier placement is
@@ -188,11 +201,35 @@ func (n *Node) Emit(round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip
 	return []gossip.Envelope{{To: peer, Payload: snapshot}}
 }
 
+// EmitAppend implements gossip.AppendEmitter: the same emission, but
+// the snapshot is copied into a per-host buffer reused across rounds
+// instead of freshly allocated — zero steady-state allocation.
+func (n *Node) EmitAppend(dst []gossip.Envelope, round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip.Envelope {
+	peer, ok := pick()
+	if !ok {
+		return dst
+	}
+	if n.snap.Ages == nil {
+		n.snap.Ages = make([]uint8, len(n.counters))
+	}
+	copy(n.snap.Ages, n.counters)
+	return append(dst, gossip.Envelope{To: peer, Payload: &n.snap})
+}
+
 // Receive implements gossip.Agent: element-wise min (Figure 5 step 5).
 // Min-merge is order-insensitive and idempotent, so merging on arrival
-// is safe under the engine's emit-then-deliver ordering.
+// is safe under the engine's emit-then-deliver ordering. Both the
+// boxed []uint8 of Emit and the scratch-backed *Counters of EmitAppend
+// are accepted.
 func (n *Node) Receive(payload any) {
-	n.minMerge(payload.([]uint8))
+	switch p := payload.(type) {
+	case *Counters:
+		n.minMerge(p.Ages)
+	case []uint8:
+		n.minMerge(p)
+	default:
+		panic(fmt.Sprintf("sketchreset: unexpected payload %T", payload))
+	}
 }
 
 func (n *Node) minMerge(other []uint8) {

@@ -128,6 +128,16 @@ func (s *Sketch) Clone() *Sketch {
 	return c
 }
 
+// CopyFrom overwrites s with other's bits, reusing s's storage. Both
+// must share Params. This is the allocation-free counterpart of Clone
+// for snapshot buffers that are reused across gossip rounds.
+func (s *Sketch) CopyFrom(other *Sketch) {
+	if other.params != s.params {
+		panic(fmt.Sprintf("sketch: copying mismatched params %+v and %+v", s.params, other.params))
+	}
+	copy(s.bins, other.bins)
+}
+
 // Insert records identifier id.
 func (s *Sketch) Insert(id uint64) {
 	pos := s.params.Place(id)
