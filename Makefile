@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race bench bench-json fmt vet vuln ci
+.PHONY: build examples test race bench bench-json fmt vet vuln ci live-soak fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,25 @@ bench-json:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./... > BENCH_raw.txt || { cat BENCH_raw.txt >&2; exit 1; }
 	@cat BENCH_raw.txt
 	$(GO) run ./cmd/benchjson -o BENCH_results.json BENCH_raw.txt
+
+# Transport/live-engine soak: the concurrency-heavy tests (goroutine
+# drivers, UDP readers, loss injection) twice under the race detector
+# with a generous timeout, in their own CI lane so `make ci` stays
+# fast. (internal/wire is single-threaded; its tests already run under
+# race in `make ci` and its decoders get fuzz-smoke below.)
+live-soak:
+	$(GO) test -race -count=2 -timeout 15m -run 'Live|Transport' ./internal/gossip/live/...
+
+# Native Go fuzzing smoke pass: 10 seconds per wire decoder, enough to
+# shake out the easy crashes on every push (a socket feeds these
+# decoders attacker-controllable bytes). Seed corpora always run via
+# `go test`; this adds fresh mutation time.
+FUZZ_TARGETS = FuzzDecodeCounters FuzzDecodeCandidates FuzzDecodeHeader FuzzDecodeSketchBits FuzzDecodeMass
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "fuzz $$t"; \
+		$(GO) test ./internal/wire -run='^$$' -fuzz="$$t\$$" -fuzztime=10s || exit 1; \
+	done
 
 fmt:
 	@unformatted=$$(gofmt -l .); \

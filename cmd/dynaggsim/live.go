@@ -1,0 +1,149 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"dynagg/internal/env"
+	"dynagg/internal/gossip"
+	"dynagg/internal/gossip/live"
+	"dynagg/internal/gossip/live/transport"
+	"dynagg/internal/protocol/pushsum"
+	"dynagg/internal/protocol/pushsumrevert"
+	"dynagg/internal/protocol/sketchreset"
+	"dynagg/internal/sketch"
+)
+
+// liveOpts parametrizes the `live` experiment: run a protocol on the
+// asynchronous live engine over a selectable transport, optionally
+// with injected loss — the knob set of live.Config surfaced on the
+// command line.
+type liveOpts struct {
+	protocol  string // pushsum | revert | sketchreset
+	transport string // chan | udp
+	loss      float64
+	groups    int
+	pace      time.Duration
+	n         int
+	ticks     int
+	workers   int
+	seed      uint64
+}
+
+// runLive executes one live-engine run and prints a small report:
+// population, transport, tick count, the mean estimate against the
+// truth, and the transport's sent/dropped books.
+func runLive(out io.Writer, o liveOpts) error {
+	if o.n <= 0 {
+		o.n = 256
+	}
+	if o.ticks <= 0 {
+		o.ticks = 60
+	}
+	if o.groups <= 0 {
+		o.groups = 4
+	}
+	// Count-Sketch-Reset bounds counter ages assuming loosely equal
+	// iteration rates across the population, so it defaults to a paced
+	// duty cycle; the mass protocols are rate-independent and default
+	// to free-running.
+	if o.pace == 0 && o.protocol == "sketchreset" {
+		o.pace = 4 * time.Millisecond
+	}
+
+	u := env.NewUniform(o.n)
+	agents := make([]gossip.Agent, o.n)
+	var truth float64
+	switch o.protocol {
+	case "pushsum":
+		var sum float64
+		for i := 0; i < o.n; i++ {
+			v := float64(i % 100)
+			sum += v
+			agents[i] = pushsum.NewAverage(gossip.NodeID(i), v)
+		}
+		truth = sum / float64(o.n)
+	case "revert":
+		var sum float64
+		for i := 0; i < o.n; i++ {
+			v := float64(i % 100)
+			sum += v
+			agents[i] = pushsumrevert.New(gossip.NodeID(i), v, pushsumrevert.Config{Lambda: 0.01})
+		}
+		truth = sum / float64(o.n)
+	case "sketchreset":
+		for i := 0; i < o.n; i++ {
+			agents[i] = sketchreset.New(gossip.NodeID(i), sketchreset.Config{
+				Params: sketch.DefaultParams, Identifiers: 1,
+			})
+		}
+		truth = float64(o.n)
+	default:
+		return fmt.Errorf("live: unknown -protocol %q (pushsum, revert, sketchreset)", o.protocol)
+	}
+
+	var tr transport.Transport
+	switch o.transport {
+	case "", "chan":
+		tr = transport.NewChannel(o.n, 0)
+	case "udp":
+		udp, err := transport.NewUDPLoopback(o.n, o.groups, 0)
+		if err != nil {
+			return err
+		}
+		defer udp.Close()
+		tr = udp
+	default:
+		return fmt.Errorf("live: unknown -transport %q (chan, udp)", o.transport)
+	}
+	if o.loss > 0 {
+		lt := &transport.Lossy{T: tr, P: o.loss, Seed: o.seed + 1}
+		defer lt.Close()
+		tr = lt
+	}
+
+	e, err := live.New(live.Config{
+		Env: u, Agents: agents, Model: gossip.Push, Seed: o.seed,
+		Ticks: o.ticks, Workers: o.workers, Transport: tr, TickEvery: o.pace,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := e.Run(context.Background()); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	ests := e.Estimates()
+	var mean float64
+	for _, v := range ests {
+		mean += v
+	}
+	if len(ests) > 0 {
+		mean /= float64(len(ests))
+	}
+	name := o.transport
+	if name == "" {
+		name = "chan"
+	}
+	fmt.Fprintf(out, "live %s over %s: n=%d ticks=%d loss=%.2f pace=%v workers=%d\n",
+		o.protocol, name, o.n, o.ticks, o.loss, o.pace, o.workers)
+	fmt.Fprintf(out, "mean estimate %.4f  truth %.4f  rel.err %.2f%%\n",
+		mean, truth, 100*relErr(mean, truth))
+	fmt.Fprintf(out, "sent %d  dropped %d  elapsed %v\n", e.Sent(), e.Dropped(), elapsed.Round(time.Millisecond))
+	return nil
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return 0
+	}
+	d := (got - want) / want
+	if d < 0 {
+		d = -d
+	}
+	return d
+}

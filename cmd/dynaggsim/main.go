@@ -22,6 +22,14 @@
 //	ablation-mobility
 //	all    run everything at the current scale
 //
+// Live engine (asynchronous, pluggable transport):
+//
+//	live   run a protocol on the live engine (-protocol pushsum|
+//	       revert|sketchreset) over a transport (-transport chan|udp)
+//	       with optional injected loss (-loss 0.2), UDP socket count
+//	       (-udp-groups 4), wall-clock duty cycle (-pace 4ms), and
+//	       tick count (-ticks 60)
+//
 // Trace tooling:
 //
 //	trace-gen   generate a synthetic contact trace (-dataset 1..3,
@@ -84,6 +92,12 @@ func run(args []string) error {
 	outPath := fs.String("o", "", "write output to file instead of stdout")
 	inPath := fs.String("in", "", "input trace file (trace-info)")
 	contacts := fs.Bool("contacts", false, "parse -in as a CRAWDAD contact table")
+	protocol := fs.String("protocol", "pushsum", "live protocol: pushsum, revert, sketchreset")
+	transportName := fs.String("transport", "chan", "live transport: chan (in-process channels) or udp (wire-encoded loopback datagrams)")
+	loss := fs.Float64("loss", 0, "live per-message drop probability injected over the transport")
+	groups := fs.Int("udp-groups", 4, "live UDP transport: host groups (= sockets)")
+	pace := fs.Duration("pace", 0, "live tick duty cycle; 0 = free-running (sketchreset defaults to 4ms)")
+	ticks := fs.Int("ticks", 0, "live ticks per host (default 60)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -124,6 +138,12 @@ func run(args []string) error {
 		return traceGen(out, *dataset, *seed, *n)
 	case "trace-info":
 		return traceInfo(out, *inPath, *contacts)
+	case "live":
+		return runLive(out, liveOpts{
+			protocol: *protocol, transport: *transportName, loss: *loss,
+			groups: *groups, pace: *pace, n: *n, ticks: *ticks,
+			workers: sc.Workers, seed: *seed,
+		})
 	}
 
 	switch name {
@@ -305,6 +325,9 @@ experiments: fig6 fig8 fig9 fig10a fig10b fig11avg fig11sum
              ablation-epoch ablation-overlay ablation-moments
              ablation-extremes ablation-gridcutoff ablation-bandwidth
              ablation-mobility all
+live engine: live [-protocol pushsum|revert|sketchreset]
+             [-transport chan|udp] [-loss P] [-udp-groups G]
+             [-pace DUR] [-ticks T] [-n N] [-workers W] [-seed S]
 trace tools: trace-gen [-dataset D] [-o FILE]
              trace-info -in FILE [-contacts]`)
 }

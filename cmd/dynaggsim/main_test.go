@@ -103,6 +103,45 @@ func TestOutputFormats(t *testing.T) {
 	}
 }
 
+// TestRunLiveTransports smoke-runs the live engine through the CLI
+// over both transports, with and without injected loss. Estimate
+// quality is asserted in package live; here we check the plumbing and
+// that the report reaches the writer.
+func TestRunLiveTransports(t *testing.T) {
+	dir := t.TempDir()
+	cases := [][]string{
+		{"live", "-n", "128", "-ticks", "30"},
+		{"live", "-n", "128", "-ticks", "30", "-transport", "udp", "-udp-groups", "2"},
+		{"live", "-n", "128", "-ticks", "30", "-transport", "udp", "-loss", "0.2"},
+		{"live", "-n", "128", "-ticks", "30", "-protocol", "revert", "-loss", "0.1"},
+	}
+	for i, args := range cases {
+		path := filepath.Join(dir, "live.txt")
+		if err := run(append(args, "-o", path)); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "mean estimate") {
+			t.Errorf("case %d: report missing estimate:\n%s", i, data)
+		}
+	}
+}
+
+func TestRunLiveRejectsBadKnobs(t *testing.T) {
+	if err := run([]string{"live", "-protocol", "nope"}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if err := run([]string{"live", "-transport", "carrier-pigeon"}); err == nil {
+		t.Error("unknown transport accepted")
+	}
+	if err := run([]string{"live", "-loss", "1.5", "-n", "16", "-ticks", "1"}); err == nil {
+		t.Error("loss probability above 1 accepted")
+	}
+}
+
 // Smoke-run the cheapest experiments end to end through the CLI path.
 // Output goes to stdout; correctness of the numbers is asserted in
 // package experiments — here we only care that the plumbing works.

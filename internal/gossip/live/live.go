@@ -1,22 +1,30 @@
 // Package live runs gossip protocols with one goroutine per simulated
-// host, exchanging messages over channels — the Go-native counterpart
-// to the deterministic round engine in package gossip.
+// host, exchanging messages over a pluggable transport — the Go-native
+// counterpart to the deterministic round engine in package gossip.
 //
 // The round engine answers "what does the protocol do?" reproducibly;
 // the live engine answers "does the protocol survive reality?":
 // hosts tick independently without a global barrier, message delivery
-// is asynchronous, inboxes overflow and drop (like a radio), and
+// is asynchronous, queues overflow and drop (like a radio), and
 // push/pull exchanges contend on per-host locks. The paper's protocols
 // are designed exactly for such loose environments, so they must
 // converge here too — the live engine's tests assert convergence
 // within tolerance rather than exact trajectories.
+//
+// Messages travel through a transport.Transport. The default is the
+// in-process channel transport (the engine's original inbox plumbing,
+// unchanged); transport.UDP puts every payload on a real loopback
+// socket in its internal/wire encoding, and transport.Lossy injects
+// message loss over either. With Config.Span, several engines — in
+// several OS processes — can each drive a slice of one population over
+// UDP, which makes this a distributed system rather than a simulator.
 //
 // Restrictions compared to the round engine: the environment must be
 // time-invariant (Uniform or Grid; contact traces need the global
 // clock that rounds provide), and per-run results are not reproducible
 // because goroutine scheduling is not. The live engine also always
 // drives agents through Emit rather than gossip.AppendEmitter:
-// messages cross tick boundaries in channels, so payloads must not
+// messages cross tick boundaries in transports, so payloads must not
 // alias emitter-owned scratch.
 package live
 
@@ -25,29 +33,49 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dynagg/internal/gossip"
+	"dynagg/internal/gossip/live/transport"
 	"dynagg/internal/xrand"
 )
 
+// Span designates the slice [Lo, Hi) of the environment's population
+// that one engine drives. The zero Span means the full population.
+type Span struct {
+	Lo, Hi gossip.NodeID
+}
+
 // Config assembles a live engine.
 type Config struct {
-	// Agents are the protocol instances, one per host.
+	// Agents are the protocol instances, one per driven host: agent i
+	// is host Span.Lo+i (host i for a full-population engine).
 	Agents []gossip.Agent
 	// Env supplies liveness and peer selection. It must be
 	// time-invariant: Advance is never called and the round argument
 	// passed to Alive/Pick is the host's local tick count.
 	Env gossip.Environment
-	// Model selects push (channel delivery) or push/pull (pairwise
+	// Model selects push (transport delivery) or push/pull (pairwise
 	// locked exchange).
 	Model gossip.Model
-	// Seed drives per-host randomness.
+	// Seed drives per-host randomness, split by global host id so the
+	// engines of a multi-process run draw from disjoint streams.
 	Seed uint64
 	// Ticks is how many protocol iterations each host performs.
 	Ticks int
-	// InboxCapacity bounds each host's message queue; messages beyond
-	// it are dropped, as a saturated radio would. Zero means 256.
+	// InboxCapacity bounds each host's message queue in the default
+	// channel transport; messages beyond it are dropped, as a
+	// saturated radio would. Zero means transport.DefaultQueue (256).
+	// Ignored when Transport is set — the transport owns its queues.
 	InboxCapacity int
+	// TickEvery paces hosts in wall-clock time: each host performs one
+	// iteration per interval instead of spinning as fast as the
+	// scheduler allows. Age-based protocols (Count-Sketch-Reset) bound
+	// counter ages assuming the population iterates at loosely equal
+	// rates — which free-running goroutines racing a real network do
+	// not provide, but a radio duty cycle does. Zero keeps the unpaced
+	// free-running mode.
+	TickEvery time.Duration
 	// Workers bounds the driver goroutines. 0 (the default) keeps one
 	// goroutine per host — maximal interleaving, the harshest setting
 	// for protocol robustness. k > 0 multiplexes hosts onto k workers,
@@ -56,16 +84,30 @@ type Config struct {
 	// exhaust memory. Either way runs are not reproducible; only the
 	// round engine is.
 	Workers int
+	// Transport carries cross-host messages. Nil selects the
+	// in-process channel transport over the full population — the
+	// engine's original behavior. The engine never closes the
+	// transport; the caller owns its lifetime (the default channel
+	// transport needs no closing).
+	Transport transport.Transport
+	// Span restricts the engine to a slice of the population, with the
+	// rest driven by other engines (typically other OS processes)
+	// reachable through Transport. Requires an explicit Transport and
+	// the push model: push/pull exchanges need both agents in-process.
+	// The zero Span drives everything.
+	Span Span
 }
 
 // Engine is a running live simulation.
 type Engine struct {
-	cfg     Config
-	inbox   []chan any
-	locks   []sync.Mutex
-	rngs    []*xrand.Rand
-	sent    atomic.Int64
-	dropped atomic.Int64
+	cfg   Config
+	tr    transport.Transport
+	lo    gossip.NodeID // global id of Agents[0]
+	locks []sync.Mutex
+	rngs  []*xrand.Rand
+	// local counts messages that never touch the transport: a host's
+	// own retained share and push/pull exchange legs.
+	local atomic.Int64
 }
 
 // New validates the configuration and builds a live engine.
@@ -73,7 +115,23 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Env == nil {
 		return nil, fmt.Errorf("live: Config.Env is nil")
 	}
-	if len(cfg.Agents) != cfg.Env.Size() {
+	partial := cfg.Span != (Span{})
+	if partial {
+		if cfg.Span.Lo < 0 || cfg.Span.Lo >= cfg.Span.Hi || int(cfg.Span.Hi) > cfg.Env.Size() {
+			return nil, fmt.Errorf("live: Span [%d,%d) outside environment of size %d",
+				cfg.Span.Lo, cfg.Span.Hi, cfg.Env.Size())
+		}
+		if got, want := len(cfg.Agents), int(cfg.Span.Hi-cfg.Span.Lo); got != want {
+			return nil, fmt.Errorf("live: %d agents for span [%d,%d) of %d hosts",
+				got, cfg.Span.Lo, cfg.Span.Hi, want)
+		}
+		if cfg.Transport == nil {
+			return nil, fmt.Errorf("live: Span requires an explicit Transport to reach the other hosts")
+		}
+		if cfg.Model != gossip.Push {
+			return nil, fmt.Errorf("live: Span supports only the push model; push/pull exchanges need both agents in-process")
+		}
+	} else if len(cfg.Agents) != cfg.Env.Size() {
 		return nil, fmt.Errorf("live: %d agents for environment of size %d", len(cfg.Agents), cfg.Env.Size())
 	}
 	if cfg.Ticks <= 0 {
@@ -82,8 +140,8 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("live: Workers must be >= 0, got %d", cfg.Workers)
 	}
-	if cfg.InboxCapacity == 0 {
-		cfg.InboxCapacity = 256
+	if cfg.TickEvery < 0 {
+		return nil, fmt.Errorf("live: TickEvery must be >= 0, got %v", cfg.TickEvery)
 	}
 	if cfg.Model == gossip.PushPull {
 		for i, a := range cfg.Agents {
@@ -92,31 +150,47 @@ func New(cfg Config) (*Engine, error) {
 			}
 		}
 	}
+	if lt, ok := cfg.Transport.(*transport.Lossy); ok {
+		if err := lt.Validate(); err != nil {
+			return nil, fmt.Errorf("live: %w", err)
+		}
+	}
 	n := len(cfg.Agents)
 	e := &Engine{
 		cfg:   cfg,
-		inbox: make([]chan any, n),
+		tr:    cfg.Transport,
+		lo:    cfg.Span.Lo,
 		locks: make([]sync.Mutex, n),
 		rngs:  make([]*xrand.Rand, n),
 	}
+	if e.tr == nil {
+		e.tr = transport.NewChannel(cfg.Env.Size(), cfg.InboxCapacity)
+	}
 	root := xrand.New(cfg.Seed)
 	for i := 0; i < n; i++ {
-		e.inbox[i] = make(chan any, cfg.InboxCapacity)
-		e.rngs[i] = root.Split(uint64(i))
+		e.rngs[i] = root.Split(uint64(e.lo) + uint64(i))
 	}
 	return e, nil
 }
 
-// Sent returns the number of messages successfully enqueued.
-func (e *Engine) Sent() int64 { return e.sent.Load() }
+// Transport returns the transport the engine delivers through (the
+// default channel transport when Config.Transport was nil).
+func (e *Engine) Transport() transport.Transport { return e.tr }
 
-// Dropped returns the number of messages lost to full inboxes.
-func (e *Engine) Dropped() int64 { return e.dropped.Load() }
+// Sent returns the number of messages successfully enqueued, both
+// through the transport and delivered in-process (self shares,
+// push/pull exchange legs).
+func (e *Engine) Sent() int64 { return e.local.Load() + e.tr.Sent() }
+
+// Dropped returns the number of messages lost in transit: full
+// queues, transport.Lossy injection, or dead sockets.
+func (e *Engine) Dropped() int64 { return e.tr.Dropped() }
 
 // Run executes every host's ticks concurrently and blocks until all
 // hosts finish or the context is cancelled. With Config.Workers == 0
 // each host gets its own goroutine; otherwise Workers goroutines each
 // drive a contiguous shard of hosts, sweeping the shard once per tick.
+// On cancellation every shard returns ctx.Err(); Run reports it once.
 func (e *Engine) Run(ctx context.Context) error {
 	var wg sync.WaitGroup
 	n := len(e.cfg.Agents)
@@ -144,18 +218,31 @@ func (e *Engine) Run(ctx context.Context) error {
 	}
 }
 
-// shardLoop drives hosts [lo, hi): one tick of every host, then the
-// next tick, so shard hosts progress together while shards interleave
-// freely against each other.
+// shardLoop drives local hosts [lo, hi): one tick of every host, then
+// the next tick, so shard hosts progress together while shards
+// interleave freely against each other.
 func (e *Engine) shardLoop(ctx context.Context, lo, hi int) error {
+	var pacer *time.Ticker
+	if e.cfg.TickEvery > 0 {
+		pacer = time.NewTicker(e.cfg.TickEvery)
+		defer pacer.Stop()
+	}
 	for tick := 0; tick < e.cfg.Ticks; tick++ {
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		default:
+		if pacer != nil {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-pacer.C:
+			}
+		} else {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
 		}
 		for i := lo; i < hi; i++ {
-			id := gossip.NodeID(i)
+			id := e.lo + gossip.NodeID(i)
 			if !e.cfg.Env.Alive(id, tick) {
 				continue
 			}
@@ -174,85 +261,76 @@ func (e *Engine) shardLoop(ctx context.Context, lo, hi int) error {
 // The agent lock serializes against concurrent exchanges and estimate
 // reads.
 func (e *Engine) pushTick(agent gossip.Agent, id gossip.NodeID, tick int, rng *xrand.Rand) {
-	e.locks[id].Lock()
+	li := int(id - e.lo)
+	e.locks[li].Lock()
 	agent.BeginRound(tick)
 	// Drain whatever arrived since the last tick.
-	for {
-		select {
-		case p := <-e.inbox[id]:
-			agent.Receive(p)
-		default:
-			goto drained
-		}
-	}
-drained:
+	e.tr.Drain(id, agent.Receive)
 	pick := func() (gossip.NodeID, bool) { return e.cfg.Env.Pick(id, tick, rng) }
-	// Deliberately Emit, not EmitAppend: payloads sit in channels
-	// across tick boundaries here, so they need independent lifetime.
-	// gossip.AppendEmitter payloads may alias emitter scratch that is
-	// rewritten next tick — only the synchronous round engine, which
-	// delivers within the emitting round, may use them.
+	// Deliberately Emit, not EmitAppend: payloads sit in transport
+	// queues across tick boundaries here, so they need independent
+	// lifetime. gossip.AppendEmitter payloads may alias emitter scratch
+	// that is rewritten next tick — only the synchronous round engine,
+	// which delivers within the emitting round, may use them.
 	envs := agent.Emit(tick, rng, pick)
 	// Self messages are the host's own retained share: they must land
 	// in the same round (before EndRound folds the inbox) and must
-	// never be dropped, or mass would evaporate.
+	// never be dropped, or mass would evaporate — so they bypass the
+	// transport entirely.
 	for _, env := range envs {
 		if env.To == id {
 			agent.Receive(env.Payload)
-			e.sent.Add(1)
+			e.local.Add(1)
 		}
 	}
 	agent.EndRound(tick)
-	e.locks[id].Unlock()
+	e.locks[li].Unlock()
 
 	for _, env := range envs {
 		if env.To == id {
 			continue
 		}
-		select {
-		case e.inbox[env.To] <- env.Payload:
-			e.sent.Add(1)
-		default:
-			e.dropped.Add(1)
-		}
+		e.tr.Send(id, env.To, tick, env.Payload)
 	}
 }
 
 // pullTick runs one push/pull iteration: pick a peer and perform the
 // pairwise exchange under both hosts' locks, ordered by id to prevent
-// deadlock.
+// deadlock. Exchanges are in-process by nature (both agents mutate),
+// so they never touch the transport; Span engines therefore reject
+// the push/pull model at construction.
 func (e *Engine) pullTick(agent gossip.Agent, id gossip.NodeID, tick int, rng *xrand.Rand) {
 	peer, ok := e.cfg.Env.Pick(id, tick, rng)
 	if !ok || peer == id {
 		return
 	}
-	a, b := id, peer
+	a, b := int(id-e.lo), int(peer-e.lo)
 	if a > b {
 		a, b = b, a
 	}
 	e.locks[a].Lock()
 	e.locks[b].Lock()
 	agent.BeginRound(tick)
-	agent.(gossip.Exchanger).Exchange(e.cfg.Agents[peer].(gossip.Exchanger))
+	agent.(gossip.Exchanger).Exchange(e.cfg.Agents[peer-e.lo].(gossip.Exchanger))
 	agent.EndRound(tick)
 	e.locks[b].Unlock()
 	e.locks[a].Unlock()
-	e.sent.Add(2)
+	e.local.Add(2)
 }
 
-// Estimates returns the live hosts' current estimates. Call after Run
-// returns (or accept racy snapshots during a run — each read takes the
-// host lock, so individual estimates are coherent).
+// Estimates returns the driven hosts' current estimates. Call after
+// Run returns (or accept racy snapshots during a run — each read takes
+// the host lock, so individual estimates are coherent).
 func (e *Engine) Estimates() []float64 {
 	out := make([]float64, 0, len(e.cfg.Agents))
 	for i, a := range e.cfg.Agents {
-		id := gossip.NodeID(i)
+		id := e.lo + gossip.NodeID(i)
 		if !e.cfg.Env.Alive(id, e.cfg.Ticks) {
 			continue
 		}
-		e.locks[id].Lock()
+		e.locks[i].Lock()
 		v, ok := a.Estimate()
-		e.locks[id].Unlock()
+		e.locks[i].Unlock()
 		if ok {
 			out = append(out, v)
 		}

@@ -1,0 +1,8 @@
+//go:build race
+
+package live
+
+// raceEnabled lets timing-sensitive live tests stretch their duty
+// cycle when the race detector multiplies CPU cost: the socket readers
+// must keep up with the senders for age-based protocols to converge.
+const raceEnabled = true

@@ -1,0 +1,156 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dynagg/internal/gossip"
+	"dynagg/internal/protocol/extremes"
+	"dynagg/internal/protocol/moments"
+	"dynagg/internal/protocol/pushsum"
+	"dynagg/internal/protocol/pushsumrevert"
+	"dynagg/internal/protocol/sketchreset"
+	"dynagg/internal/sketch"
+	"dynagg/internal/wire"
+)
+
+// Protocol kind tags carried in the envelope header so a datagram is
+// self-describing: the receiver needs no out-of-band agreement about
+// which protocol is running to decode (or reject) a payload.
+const (
+	kindPushSumMass uint8 = iota + 1
+	kindRevertMass
+	kindMomentsMass
+	kindResetCounters
+	kindSketchBits
+	kindCandidates
+)
+
+// maxCounterElements bounds the counter matrices a datagram may carry
+// (the paper's sketches are 64×24 = 1536 counters; this leaves two
+// orders of magnitude of headroom without letting a hostile datagram
+// size an allocation).
+const maxCounterElements = 1 << 16
+
+// appendEnvelope encodes header + payload for one cross-host message.
+// Both the value payloads of Emit and the pointer payloads of
+// EmitAppend are accepted; an unknown payload type is an error (the
+// caller counts it as a drop).
+func appendEnvelope(dst []byte, from, to gossip.NodeID, tick int, payload any) ([]byte, error) {
+	hdr := func(kind uint8) wire.Header {
+		return wire.Header{Kind: kind, To: int32(to), From: int32(from), Tick: int32(tick)}
+	}
+	switch p := payload.(type) {
+	case pushsum.Mass:
+		dst = wire.AppendHeader(dst, hdr(kindPushSumMass))
+		return wire.AppendMass(dst, p.W, p.V), nil
+	case *pushsum.Mass:
+		dst = wire.AppendHeader(dst, hdr(kindPushSumMass))
+		return wire.AppendMass(dst, p.W, p.V), nil
+	case pushsumrevert.Mass:
+		dst = wire.AppendHeader(dst, hdr(kindRevertMass))
+		return wire.AppendMass(dst, p.W, p.V), nil
+	case *pushsumrevert.Mass:
+		dst = wire.AppendHeader(dst, hdr(kindRevertMass))
+		return wire.AppendMass(dst, p.W, p.V), nil
+	case moments.Mass:
+		dst = wire.AppendHeader(dst, hdr(kindMomentsMass))
+		return wire.AppendMass3(dst, p.W, p.V, p.Q), nil
+	case *moments.Mass:
+		dst = wire.AppendHeader(dst, hdr(kindMomentsMass))
+		return wire.AppendMass3(dst, p.W, p.V, p.Q), nil
+	case []uint8:
+		dst = wire.AppendHeader(dst, hdr(kindResetCounters))
+		return wire.AppendCounters(dst, p), nil
+	case *sketchreset.Counters:
+		dst = wire.AppendHeader(dst, hdr(kindResetCounters))
+		return wire.AppendCounters(dst, p.Ages), nil
+	case *sketch.Sketch:
+		// The bin words alone don't determine the sketch shape, so the
+		// level count rides along ahead of them.
+		dst = wire.AppendHeader(dst, hdr(kindSketchBits))
+		dst = binary.AppendUvarint(dst, uint64(p.Params().Levels))
+		return wire.AppendSketchBits(dst, p.Bits()), nil
+	case []extremes.Candidate:
+		dst = wire.AppendHeader(dst, hdr(kindCandidates))
+		return appendCandidates(dst, p), nil
+	case *extremes.Table:
+		dst = wire.AppendHeader(dst, hdr(kindCandidates))
+		return appendCandidates(dst, p.Candidates), nil
+	default:
+		return nil, fmt.Errorf("transport: no wire encoding for payload %T", payload)
+	}
+}
+
+func appendCandidates(dst []byte, cands []extremes.Candidate) []byte {
+	wc := make([]wire.Candidate, len(cands))
+	for i, c := range cands {
+		wc[i] = wire.Candidate{Value: c.Value, Owner: int32(c.Owner), Age: int32(c.Age)}
+	}
+	return wire.AppendCandidates(dst, wc)
+}
+
+// decodeEnvelope parses one datagram into its header and a payload
+// value of the exact Go type the protocol's Receive expects from Emit.
+func decodeEnvelope(src []byte) (wire.Header, any, error) {
+	h, rest, err := wire.DecodeHeader(src)
+	if err != nil {
+		return wire.Header{}, nil, err
+	}
+	switch h.Kind {
+	case kindPushSumMass:
+		w, v, _, err := wire.DecodeMass(rest)
+		if err != nil {
+			return wire.Header{}, nil, err
+		}
+		return h, pushsum.Mass{W: w, V: v}, nil
+	case kindRevertMass:
+		w, v, _, err := wire.DecodeMass(rest)
+		if err != nil {
+			return wire.Header{}, nil, err
+		}
+		return h, pushsumrevert.Mass{W: w, V: v}, nil
+	case kindMomentsMass:
+		w, v, q, _, err := wire.DecodeMass3(rest)
+		if err != nil {
+			return wire.Header{}, nil, err
+		}
+		return h, moments.Mass{W: w, V: v, Q: q}, nil
+	case kindResetCounters:
+		counters, _, err := wire.DecodeCountersAlloc(rest, maxCounterElements)
+		if err != nil {
+			return wire.Header{}, nil, err
+		}
+		return h, counters, nil
+	case kindSketchBits:
+		// The uint64→int narrowing below must not wrap before
+		// Params.Validate (the authority on sketch shape) sees the value.
+		levels, n := binary.Uvarint(rest)
+		if n <= 0 || levels > sketch.MaxLevels {
+			return wire.Header{}, nil, fmt.Errorf("transport: sketch datagram: bad level count")
+		}
+		bits, _, err := wire.DecodeSketchBits(rest[n:])
+		if err != nil {
+			return wire.Header{}, nil, err
+		}
+		params := sketch.Params{Bins: len(bits), Levels: int(levels)}
+		if err := params.Validate(); err != nil {
+			return wire.Header{}, nil, fmt.Errorf("transport: sketch datagram: %w", err)
+		}
+		s := sketch.New(params)
+		s.LoadBits(bits)
+		return h, s, nil
+	case kindCandidates:
+		wc, _, err := wire.DecodeCandidates(rest)
+		if err != nil {
+			return wire.Header{}, nil, err
+		}
+		cands := make([]extremes.Candidate, len(wc))
+		for i, c := range wc {
+			cands[i] = extremes.Candidate{Value: c.Value, Owner: gossip.NodeID(c.Owner), Age: int(c.Age)}
+		}
+		return h, cands, nil
+	default:
+		return wire.Header{}, nil, fmt.Errorf("transport: unknown payload kind %d", h.Kind)
+	}
+}

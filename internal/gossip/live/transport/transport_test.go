@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dynagg/internal/gossip"
+)
+
+func TestChannelTransportSendDrainDrop(t *testing.T) {
+	c := NewChannel(3, 2)
+	defer c.Close()
+
+	if !c.Send(0, 1, 0, "a") || !c.Send(0, 1, 0, "b") {
+		t.Fatal("sends within capacity rejected")
+	}
+	if c.Send(2, 1, 0, "c") {
+		t.Error("send beyond capacity accepted")
+	}
+	if got := c.Sent(); got != 2 {
+		t.Errorf("Sent = %d, want 2", got)
+	}
+	if got := c.Dropped(); got != 1 {
+		t.Errorf("Dropped = %d, want 1", got)
+	}
+
+	var got []any
+	c.Drain(1, func(p any) { got = append(got, p) })
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Drain got %v, want [a b] in arrival order", got)
+	}
+	got = nil
+	c.Drain(1, func(p any) { got = append(got, p) })
+	if len(got) != 0 {
+		t.Errorf("second Drain got %v, want nothing", got)
+	}
+}
+
+func TestLossyDropRate(t *testing.T) {
+	const n, msgs, p = 4, 20000, 0.3
+	l := &Lossy{T: NewChannel(n, msgs), P: p, Seed: 42}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < msgs; i++ {
+		l.Send(0, gossip.NodeID(1+i%(n-1)), i, i)
+	}
+	total := l.Sent() + l.Dropped()
+	if total != msgs {
+		t.Fatalf("sent %d + dropped %d != %d attempts", l.Sent(), l.Dropped(), msgs)
+	}
+	rate := float64(l.Dropped()) / float64(total)
+	if math.Abs(rate-p) > 0.02 {
+		t.Errorf("drop rate %.4f, want ≈ %.2f", rate, p)
+	}
+}
+
+func TestLossyDelayDelivers(t *testing.T) {
+	l := &Lossy{T: NewChannel(2, 4), Delay: 5 * time.Millisecond}
+	l.Send(0, 1, 0, "late")
+	count := 0
+	l.Drain(1, func(any) { count++ })
+	if count != 0 {
+		t.Fatal("delayed message arrived immediately")
+	}
+	l.Close() // waits for delayed deliveries
+	l.Drain(1, func(any) { count++ })
+	if count != 1 {
+		t.Errorf("got %d messages after delay, want 1", count)
+	}
+}
+
+func TestChannelTransportSendAfterCloseDrops(t *testing.T) {
+	c := NewChannel(2, 4)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Send(0, 1, 0, "x") {
+		t.Error("send after Close accepted")
+	}
+	if c.Sent() != 0 || c.Dropped() != 1 {
+		t.Errorf("sent %d dropped %d, want 0/1", c.Sent(), c.Dropped())
+	}
+}
+
+func TestLossyTransportSendAfterCloseDrops(t *testing.T) {
+	l := &Lossy{T: NewChannel(2, 4), Delay: time.Millisecond}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Send(0, 1, 0, "x") {
+		t.Error("send after Close accepted")
+	}
+	if l.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", l.Dropped())
+	}
+}
+
+func TestLossyValidate(t *testing.T) {
+	if err := (&Lossy{P: 0.5}).Validate(); err == nil {
+		t.Error("nil inner transport accepted")
+	}
+	if err := (&Lossy{T: NewChannel(1, 1), P: 1.5}).Validate(); err == nil {
+		t.Error("P > 1 accepted")
+	}
+}

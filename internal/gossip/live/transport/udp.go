@@ -1,0 +1,347 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dynagg/internal/gossip"
+)
+
+// Group is one contiguous slice [Lo, Hi) of the host population that
+// shares a single UDP socket — the paper's picture of many sensors
+// behind one radio. A process binds the groups it owns and addresses
+// the rest by Addr.
+type Group struct {
+	Lo, Hi gossip.NodeID
+	// Addr is the group's UDP address. For a local group it is the
+	// bind address ("127.0.0.1:0" picks an ephemeral port; read the
+	// outcome with GroupAddr). For a remote group it may be left empty
+	// at construction and supplied later via SetGroupAddr — messages
+	// to a group with no known address are dropped, exactly like
+	// transmissions to a host that is out of range.
+	Addr string
+}
+
+// UDPConfig assembles a UDP transport.
+type UDPConfig struct {
+	// Groups partitions the population; groups must be non-empty,
+	// non-overlapping, and sorted by Lo.
+	Groups []Group
+	// Local lists the indices into Groups this process binds sockets
+	// for. Only local hosts can send and receive here.
+	Local []int
+	// QueueCapacity bounds each local host's receive queue (0 means
+	// DefaultQueue). The queue is the post-kernel stage of the radio:
+	// datagrams the reader has pulled off the socket but the host has
+	// not yet drained. Overflow drops, counted.
+	QueueCapacity int
+	// ReadBuffer, if positive, sets SO_RCVBUF on each local socket.
+	// Shrinking it makes the kernel stage of the radio saturate
+	// earlier; those losses are silent (the kernel drops before the
+	// transport sees anything), which is the point.
+	ReadBuffer int
+	// MaxDatagram bounds encoded message size (0 means 64 KiB, the
+	// practical UDP ceiling). Messages that encode larger are dropped.
+	MaxDatagram int
+}
+
+// UDP sends every payload through the internal/wire binary encodings —
+// the encodings built for the paper's §IV-B bandwidth argument —
+// prefixed with a self-describing envelope header (protocol kind,
+// destination, sender, tick), over real loopback sockets. Message loss
+// is not simulated here; it happens, in the kernel's socket buffers,
+// whenever receivers fall behind.
+type UDP struct {
+	cfg     UDPConfig
+	conns   []*net.UDPConn // parallel to cfg.Local
+	addrs   []atomic.Pointer[net.UDPAddr]
+	connOf  map[int]*net.UDPConn // group index -> local socket
+	queues  map[gossip.NodeID]chan any
+	bufs    sync.Pool
+	sent    atomic.Int64
+	dropped atomic.Int64
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+}
+
+var _ Transport = (*UDP)(nil)
+
+// NewUDP binds one socket per local group and starts its reader. The
+// transport is usable immediately for local traffic; remote groups
+// whose Addr was left empty need SetGroupAddr before messages to them
+// can leave.
+func NewUDP(cfg UDPConfig) (*UDP, error) {
+	if len(cfg.Groups) == 0 {
+		return nil, fmt.Errorf("transport: UDPConfig.Groups is empty")
+	}
+	if len(cfg.Local) == 0 {
+		return nil, fmt.Errorf("transport: UDPConfig.Local is empty")
+	}
+	for i, g := range cfg.Groups {
+		if g.Lo >= g.Hi {
+			return nil, fmt.Errorf("transport: group %d range [%d,%d) is empty", i, g.Lo, g.Hi)
+		}
+		if i > 0 && g.Lo < cfg.Groups[i-1].Hi {
+			return nil, fmt.Errorf("transport: group %d overlaps or is unsorted", i)
+		}
+	}
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = DefaultQueue
+	}
+	if cfg.MaxDatagram <= 0 {
+		cfg.MaxDatagram = 64 << 10
+	}
+	u := &UDP{
+		cfg:    cfg,
+		addrs:  make([]atomic.Pointer[net.UDPAddr], len(cfg.Groups)),
+		connOf: make(map[int]*net.UDPConn, len(cfg.Local)),
+		queues: make(map[gossip.NodeID]chan any),
+	}
+	u.bufs.New = func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	}
+	for i, g := range cfg.Groups {
+		if g.Addr == "" {
+			continue
+		}
+		addr, err := net.ResolveUDPAddr("udp", g.Addr)
+		if err != nil {
+			u.closeConns()
+			return nil, fmt.Errorf("transport: group %d addr %q: %w", i, g.Addr, err)
+		}
+		u.addrs[i].Store(addr)
+	}
+	for _, gi := range cfg.Local {
+		if gi < 0 || gi >= len(cfg.Groups) {
+			u.closeConns()
+			return nil, fmt.Errorf("transport: local group index %d out of range", gi)
+		}
+		g := cfg.Groups[gi]
+		bind := u.addrs[gi].Load()
+		if bind == nil {
+			u.closeConns()
+			return nil, fmt.Errorf("transport: local group %d needs a bind address", gi)
+		}
+		conn, err := net.ListenUDP("udp", bind)
+		if err != nil {
+			u.closeConns()
+			return nil, fmt.Errorf("transport: bind group %d: %w", gi, err)
+		}
+		if cfg.ReadBuffer > 0 {
+			if err := conn.SetReadBuffer(cfg.ReadBuffer); err != nil {
+				conn.Close()
+				u.closeConns()
+				return nil, fmt.Errorf("transport: SO_RCVBUF group %d: %w", gi, err)
+			}
+		}
+		// Rebind resolved the port (":0" ephemeral); record the real
+		// address so Send and GroupAddr see it.
+		u.addrs[gi].Store(conn.LocalAddr().(*net.UDPAddr))
+		u.conns = append(u.conns, conn)
+		u.connOf[gi] = conn
+		for id := g.Lo; id < g.Hi; id++ {
+			u.queues[id] = make(chan any, cfg.QueueCapacity)
+		}
+	}
+	// Readers start only after every local group's queues exist: they
+	// read the queue map concurrently, so it must be complete (and
+	// frozen) first.
+	for _, conn := range u.conns {
+		u.wg.Add(1)
+		go u.reader(conn)
+	}
+	return u, nil
+}
+
+// NewUDPLoopback is the single-process convenience constructor: hosts
+// [0, hosts) split into `groups` contiguous groups, every group local,
+// each bound to an ephemeral loopback port. All cross-host traffic
+// then travels through real kernel sockets.
+func NewUDPLoopback(hosts, groups, queueCapacity int) (*UDP, error) {
+	if hosts <= 0 {
+		return nil, fmt.Errorf("transport: hosts must be positive, got %d", hosts)
+	}
+	if groups <= 0 {
+		groups = 1
+	}
+	if groups > hosts {
+		groups = hosts
+	}
+	cfg := UDPConfig{QueueCapacity: queueCapacity}
+	for g := 0; g < groups; g++ {
+		cfg.Groups = append(cfg.Groups, Group{
+			Lo:   gossip.NodeID(g * hosts / groups),
+			Hi:   gossip.NodeID((g + 1) * hosts / groups),
+			Addr: "127.0.0.1:0",
+		})
+		cfg.Local = append(cfg.Local, g)
+	}
+	return NewUDP(cfg)
+}
+
+// GroupAddr returns the group's resolved UDP address ("" if unknown) —
+// for a local group, the actual bound socket address, which is what a
+// peer process needs to be told.
+func (u *UDP) GroupAddr(group int) string {
+	if group < 0 || group >= len(u.addrs) {
+		return ""
+	}
+	if addr := u.addrs[group].Load(); addr != nil {
+		return addr.String()
+	}
+	return ""
+}
+
+// SetGroupAddr supplies (or replaces) a remote group's address, the
+// second half of the two-process handshake: bind locally first, learn
+// the peer's ephemeral address, then aim at it.
+func (u *UDP) SetGroupAddr(group int, addr string) error {
+	if group < 0 || group >= len(u.cfg.Groups) {
+		return fmt.Errorf("transport: group index %d out of range", group)
+	}
+	a, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: group %d addr %q: %w", group, addr, err)
+	}
+	u.addrs[group].Store(a)
+	return nil
+}
+
+// groupOf locates the group owning a host, or -1.
+func (u *UDP) groupOf(id gossip.NodeID) int {
+	gs := u.cfg.Groups
+	i := sort.Search(len(gs), func(i int) bool { return gs[i].Hi > id })
+	if i < len(gs) && id >= gs[i].Lo {
+		return i
+	}
+	return -1
+}
+
+// Send implements Transport: wire-encode and fire one datagram from
+// the sender's group socket. Every failure mode — unroutable host,
+// unknown peer address, unencodable or oversized payload, dead socket
+// — is a drop, never an error that stops the protocol: gossip
+// tolerates loss by design.
+func (u *UDP) Send(from, to gossip.NodeID, tick int, payload any) bool {
+	gi := u.groupOf(to)
+	if gi < 0 || u.closed.Load() {
+		u.dropped.Add(1)
+		return false
+	}
+	addr := u.addrs[gi].Load()
+	if addr == nil {
+		u.dropped.Add(1)
+		return false
+	}
+	conn := u.connOf[u.groupOf(from)]
+	if conn == nil {
+		conn = u.conns[0]
+	}
+	bp := u.bufs.Get().(*[]byte)
+	buf, err := appendEnvelope((*bp)[:0], from, to, tick, payload)
+	if err == nil && len(buf) > u.cfg.MaxDatagram {
+		err = fmt.Errorf("transport: %d-byte datagram exceeds MaxDatagram %d", len(buf), u.cfg.MaxDatagram)
+	}
+	if err == nil {
+		_, err = conn.WriteToUDP(buf, addr)
+	}
+	if buf != nil {
+		*bp = buf
+	}
+	u.bufs.Put(bp)
+	if err != nil {
+		u.dropped.Add(1)
+		return false
+	}
+	u.sent.Add(1)
+	return true
+}
+
+// reader pulls datagrams off one group socket, decodes them, and
+// queues them for their destination host. A full queue or an
+// undecodable datagram is a counted drop; the kernel's own buffer
+// overflow upstream of here is the silent kind.
+func (u *UDP) reader(conn *net.UDPConn) {
+	defer u.wg.Done()
+	buf := make([]byte, u.cfg.MaxDatagram)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			if u.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		h, payload, err := decodeEnvelope(buf[:n])
+		if err != nil {
+			u.dropped.Add(1)
+			continue
+		}
+		q := u.queues[gossip.NodeID(h.To)]
+		if q == nil {
+			u.dropped.Add(1)
+			continue
+		}
+		select {
+		case q <- payload:
+		default:
+			u.dropped.Add(1)
+		}
+	}
+}
+
+// Drain implements Transport.
+func (u *UDP) Drain(id gossip.NodeID, fn func(payload any)) {
+	q := u.queues[id]
+	if q == nil {
+		return
+	}
+	for {
+		select {
+		case p := <-q:
+			fn(p)
+		default:
+			return
+		}
+	}
+}
+
+// Sent implements Transport: datagrams handed to the kernel. Unlike
+// the channel transport, "sent" does not imply the receiver had room —
+// the datagram may still die in a socket buffer, or be counted again
+// in Dropped when the receive queue sheds it, so Sent+Dropped can
+// exceed the number of Send calls. That asymmetry is exactly the
+// radio semantics the live engine exists to exercise.
+func (u *UDP) Sent() int64 { return u.sent.Load() }
+
+// Dropped implements Transport: encode failures, unroutable
+// destinations, and receiver-side losses (undecodable datagrams,
+// receive-queue overflow — both counted after the same message was
+// counted Sent). Kernel-buffer losses are invisible here by nature.
+func (u *UDP) Dropped() int64 { return u.dropped.Load() }
+
+// Close implements Transport: closes every socket and waits for the
+// readers to exit.
+func (u *UDP) Close() error {
+	if u.closed.Swap(true) {
+		return nil
+	}
+	err := u.closeConns()
+	u.wg.Wait()
+	return err
+}
+
+func (u *UDP) closeConns() error {
+	var first error
+	for _, c := range u.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -101,9 +101,16 @@ func (n *Node) EmitAppend(dst []gossip.Envelope, round int, rng *xrand.Rand, pic
 
 // Receive implements gossip.Agent. OR-merging immediately is safe:
 // the engine delivers only after all hosts have emitted, and the merge
-// is order-insensitive and idempotent.
+// is order-insensitive and idempotent. A sketch of a different shape
+// can only come from the network (a mis-configured peer or a forged
+// datagram) and is ignored rather than merged — one more way a radio
+// message can be lost.
 func (n *Node) Receive(payload any) {
-	n.s.Merge(payload.(*sketch.Sketch))
+	s := payload.(*sketch.Sketch)
+	if s.Params() != n.s.Params() {
+		return
+	}
+	n.s.Merge(s)
 }
 
 // EndRound implements gossip.Agent.

@@ -198,3 +198,17 @@ func TestEmitSendsSketchToPeer(t *testing.T) {
 		t.Errorf("isolated Emit = %+v, want none", envs)
 	}
 }
+
+// A sketch of a different shape can only arrive over a network
+// transport (mis-configured peer or forged datagram); merging it
+// would panic, so Receive must ignore it like any other lost message.
+func TestReceiveIgnoresMismatchedSketchShape(t *testing.T) {
+	n := NewCount(0, sketch.DefaultParams)
+	before, _ := n.Estimate()
+	alien := sketch.New(sketch.Params{Bins: 4, Levels: 8})
+	alien.Insert(999)
+	n.Receive(alien)
+	if after, _ := n.Estimate(); after != before {
+		t.Errorf("mismatched sketch changed the estimate %v -> %v", before, after)
+	}
+}

@@ -233,6 +233,13 @@ func (n *Node) Receive(payload any) {
 }
 
 func (n *Node) minMerge(other []uint8) {
+	// A matrix of the wrong shape can only come from the network (a
+	// peer configured with different sketch.Params, or a forged
+	// datagram); merging it would be meaningless or panic, so it is
+	// ignored — one more way a radio message can be lost.
+	if len(other) != len(n.counters) {
+		return
+	}
 	for i, c := range other {
 		if c < n.counters[i] {
 			n.counters[i] = c

@@ -352,3 +352,17 @@ func TestCustomCutoff(t *testing.T) {
 		t.Errorf("cutoff evaluated %d times, want once per level (%d)", calls, smallParams.Levels)
 	}
 }
+
+// A counter matrix of the wrong length can only arrive over a network
+// transport (mis-configured peer or forged datagram); min-merging it
+// would index out of range, so Receive must ignore it like any other
+// lost message.
+func TestReceiveIgnoresMismatchedMatrixLength(t *testing.T) {
+	n := New(0, Config{Params: sketch.Params{Bins: 4, Levels: 8}, Identifiers: 1})
+	before, _ := n.Estimate()
+	n.Receive(make([]uint8, 4096))
+	n.Receive([]uint8{0})
+	if after, _ := n.Estimate(); after != before {
+		t.Errorf("mismatched matrix changed the estimate %v -> %v", before, after)
+	}
+}

@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// envelopeVersion is the first byte of every transport datagram, so
+// incompatible encodings fail loudly instead of mis-decoding.
+const envelopeVersion = 1
+
+// Header is the self-describing envelope prepended to every payload a
+// network transport puts on a socket: which protocol encoding follows
+// (Kind), which host it is addressed to and from, and the sender's
+// local tick at emission time. Hosts are int32 to mirror gossip.NodeID
+// without importing it (wire is a leaf package).
+type Header struct {
+	Kind uint8
+	To   int32
+	From int32
+	Tick int32
+}
+
+// AppendHeader appends the wire form of an envelope header: a version
+// byte, the kind byte, then uvarint To, From, Tick. All three must be
+// non-negative.
+func AppendHeader(dst []byte, h Header) []byte {
+	dst = append(dst, envelopeVersion, h.Kind)
+	dst = binary.AppendUvarint(dst, uint64(uint32(h.To)))
+	dst = binary.AppendUvarint(dst, uint64(uint32(h.From)))
+	dst = binary.AppendUvarint(dst, uint64(uint32(h.Tick)))
+	return dst
+}
+
+// DecodeHeader parses an envelope header, returning the remaining
+// bytes (the payload encoding selected by Kind).
+func DecodeHeader(src []byte) (h Header, rest []byte, err error) {
+	if len(src) < 2 {
+		return Header{}, nil, fmt.Errorf("wire: header needs 2 leading bytes, have %d", len(src))
+	}
+	if src[0] != envelopeVersion {
+		return Header{}, nil, fmt.Errorf("wire: header version %d, want %d", src[0], envelopeVersion)
+	}
+	h.Kind = src[1]
+	src = src[2:]
+	for _, field := range []*int32{&h.To, &h.From, &h.Tick} {
+		v, n := binary.Uvarint(src)
+		if n <= 0 {
+			return Header{}, nil, fmt.Errorf("wire: header: bad varint field")
+		}
+		if v > math.MaxInt32 {
+			return Header{}, nil, fmt.Errorf("wire: header: field %d overflows int32", v)
+		}
+		*field = int32(v)
+		src = src[n:]
+	}
+	return h, src, nil
+}

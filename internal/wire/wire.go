@@ -108,8 +108,10 @@ func DecodeCounters(dst []uint8, src []byte) (rest []byte, err error) {
 		}
 		v := src[0]
 		src = src[1:]
-		if at+int(run) > len(dst) {
-			return nil, fmt.Errorf("wire: counters: run overflows matrix at element %d", at)
+		// Compare in uint64 so an adversarial run length cannot wrap
+		// int and slip past the bound.
+		if run == 0 || run > uint64(len(dst)-at) {
+			return nil, fmt.Errorf("wire: counters: run %d overflows matrix at element %d", run, at)
 		}
 		for k := 0; k < int(run); k++ {
 			dst[at+k] = v
@@ -117,6 +119,26 @@ func DecodeCounters(dst []uint8, src []byte) (rest []byte, err error) {
 		at += int(run)
 	}
 	return src, nil
+}
+
+// DecodeCountersAlloc parses a run-length-encoded counter matrix whose
+// size is not known in advance (a network datagram rather than a
+// preconfigured sketch), allocating the result. maxElements bounds the
+// allocation so adversarial input cannot force an OOM.
+func DecodeCountersAlloc(src []byte, maxElements int) (counters []uint8, rest []byte, err error) {
+	total, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("wire: counters: bad element count")
+	}
+	if total == 0 || total > uint64(maxElements) {
+		return nil, nil, fmt.Errorf("wire: counters: element count %d outside [1, %d]", total, maxElements)
+	}
+	counters = make([]uint8, total)
+	rest, err = DecodeCounters(counters, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return counters, rest, nil
 }
 
 // AppendSketchBits appends a sketch's bin words: a uvarint count then
@@ -138,7 +160,9 @@ func DecodeSketchBits(src []byte) (bits []uint64, rest []byte, err error) {
 		return nil, nil, fmt.Errorf("wire: sketch: bad bin count")
 	}
 	src = src[n:]
-	if len(src) < int(count)*8 {
+	// Compare in uint64 so an adversarial count cannot overflow
+	// count*8 past the length check into a huge allocation.
+	if count > uint64(len(src))/8 {
 		return nil, nil, fmt.Errorf("wire: sketch: need %d bytes, have %d", count*8, len(src))
 	}
 	bits = make([]uint64, count)
@@ -178,6 +202,12 @@ func DecodeCandidates(src []byte) (cands []Candidate, rest []byte, err error) {
 		return nil, nil, fmt.Errorf("wire: candidates: bad count")
 	}
 	src = src[n:]
+	// A candidate is at least 10 bytes (8-byte value + 1-byte owner +
+	// 1-byte age), so a count the remaining bytes cannot possibly hold
+	// is rejected before it sizes an allocation.
+	if count > uint64(len(src))/10 {
+		return nil, nil, fmt.Errorf("wire: candidates: count %d exceeds %d remaining bytes", count, len(src))
+	}
 	cands = make([]Candidate, 0, count)
 	for i := 0; i < int(count); i++ {
 		if len(src) < 8 {
