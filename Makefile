@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race bench bench-json fmt vet vuln ci live-soak fuzz-smoke
+.PHONY: build examples test race bench bench-json bench-1m fmt vet vuln ci live-soak fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -21,18 +21,36 @@ race:
 
 # Benchmark smoke pass: compile and run every benchmark once so perf
 # harness rot is caught on every push without paying full bench time.
+# -short skips the N=1,000,000 BenchmarkEngine block (see bench-1m).
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -short -bench=. -benchtime=1x -run='^$$' ./...
 
 # Machine-readable benchmark snapshot: one pass of every benchmark with
 # -benchmem, raw text kept for benchstat, JSON (via cmd/benchjson) for
-# the per-PR perf-trajectory artifact.
+# the per-PR perf-trajectory artifact. -short as in bench; bench-1m
+# appends the million-host rows afterwards.
 # No pipe on the go test line: a benchmark failure must fail the
 # target, not vanish into tee's exit status.
 bench-json:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./... > BENCH_raw.txt || { cat BENCH_raw.txt >&2; exit 1; }
+	$(GO) test -short -bench=. -benchmem -benchtime=1x -run='^$$' ./... > BENCH_raw.txt || { cat BENCH_raw.txt >&2; exit 1; }
 	@cat BENCH_raw.txt
 	$(GO) run ./cmd/benchjson -o BENCH_results.json BENCH_raw.txt
+
+# Million-host engine benchmark: the N=1,000,000 BenchmarkEngine
+# configurations (classic AoS baseline plus columnar sequential and
+# sharded), one iteration each, peak RSS recorded via the
+# peak-rss-bytes metric. Kept out of the smoke lanes by -short above;
+# run deliberately (CI bench job, perf investigations). When a
+# bench-json snapshot exists the 1M rows are merged into
+# BENCH_results.json so one artifact carries the whole trajectory.
+bench-1m:
+	$(GO) test -bench='BenchmarkEngine/n=1000000' -benchmem -benchtime=1x -run='^$$' -timeout=30m ./internal/gossip > BENCH_1M_raw.txt || { cat BENCH_1M_raw.txt >&2; exit 1; }
+	@cat BENCH_1M_raw.txt
+	@if [ -f BENCH_raw.txt ]; then \
+		cat BENCH_raw.txt BENCH_1M_raw.txt | $(GO) run ./cmd/benchjson -o BENCH_results.json; \
+	else \
+		$(GO) run ./cmd/benchjson -o BENCH_results.json BENCH_1M_raw.txt; \
+	fi
 
 # Transport/live-engine soak: the concurrency-heavy tests (goroutine
 # drivers, UDP readers, loss injection) twice under the race detector

@@ -29,7 +29,18 @@ type Benchmark struct {
 	// Metrics maps unit to value: "ns/op", "B/op", "allocs/op",
 	// plus any custom b.ReportMetric units.
 	Metrics map[string]float64 `json:"metrics"`
+	// PeakRSSBytes is the process peak resident set size reported by
+	// memory-ceiling benchmarks (the "peak-rss-bytes" metric the N=1M
+	// engine runs emit via b.ReportMetric), promoted to a first-class
+	// field so BENCH_results.json tracks the memory wall alongside
+	// ns/op without consumers knowing the unit string. Zero when the
+	// benchmark reported no such metric.
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
 }
+
+// peakRSSUnit is the b.ReportMetric unit promoted to
+// Benchmark.PeakRSSBytes.
+const peakRSSUnit = "peak-rss-bytes"
 
 // Parse reads `go test -bench` text output and collects every
 // benchmark result line, carrying the goos/goarch/cpu/pkg context.
@@ -98,6 +109,9 @@ func parseBenchLine(line string) (Benchmark, bool, error) {
 			return Benchmark{}, false, fmt.Errorf("bad metric value %q in %q: %v", f[i], line, err)
 		}
 		b.Metrics[f[i+1]] = v
+	}
+	if v, ok := b.Metrics[peakRSSUnit]; ok {
+		b.PeakRSSBytes = int64(v)
 	}
 	return b, true, nil
 }

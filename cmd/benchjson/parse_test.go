@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -61,6 +62,53 @@ func TestParse(t *testing.T) {
 	fast := doc.Benchmarks[3]
 	if fast.Name != "BenchmarkFast" || fast.Procs != 1 || fast.Metrics["ns/op"] != 0.25 {
 		t.Errorf("fast benchmark = %+v", fast)
+	}
+}
+
+// TestParsePeakRSS pins the memory-ceiling promotion: the
+// peak-rss-bytes custom metric the N=1M engine benchmarks emit must
+// surface as the dedicated peak_rss_bytes field (and stay absent from
+// JSON for benchmarks that never reported it).
+func TestParsePeakRSS(t *testing.T) {
+	const text = `pkg: dynagg/internal/gossip
+BenchmarkEngine/n=1000000/push/pushsum-columnar/workers=0-4   1   68966002 ns/op   414814208 peak-rss-bytes   0 B/op   0 allocs/op
+BenchmarkRoundPush-4   100   1407760 ns/op   0 B/op   0 allocs/op
+`
+	doc, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	withRSS := doc.Benchmarks[0]
+	if withRSS.PeakRSSBytes != 414814208 {
+		t.Errorf("PeakRSSBytes = %d, want 414814208", withRSS.PeakRSSBytes)
+	}
+	if withRSS.Metrics["peak-rss-bytes"] != 414814208 {
+		t.Errorf("raw metric lost: %v", withRSS.Metrics)
+	}
+	if withRSS.Metrics["ns/op"] != 68966002 {
+		t.Errorf("ns/op alongside RSS = %v", withRSS.Metrics["ns/op"])
+	}
+	without := doc.Benchmarks[1]
+	if without.PeakRSSBytes != 0 {
+		t.Errorf("PeakRSSBytes = %d for benchmark without the metric, want 0", without.PeakRSSBytes)
+	}
+	// omitempty: the zero field must not appear in the JSON document.
+	blob, err := json.Marshal(without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(blob), "peak_rss_bytes") {
+		t.Errorf("zero peak_rss_bytes serialized: %s", blob)
+	}
+	blob, err = json.Marshal(withRSS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"peak_rss_bytes":414814208`) {
+		t.Errorf("peak_rss_bytes missing from JSON: %s", blob)
 	}
 }
 

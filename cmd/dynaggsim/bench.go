@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dynagg/internal/env"
+	"dynagg/internal/gossip"
+	"dynagg/internal/protocol/pushsum"
+	"dynagg/internal/protocol/pushsumrevert"
+	"dynagg/internal/protocol/sketchreset"
+	"dynagg/internal/sketch"
+	"dynagg/internal/stats"
+	"dynagg/internal/sysmem"
+)
+
+// benchOpts parametrizes the raw engine benchmark mode.
+type benchOpts struct {
+	protocol string
+	n        int
+	rounds   int
+	workers  int
+	columnar bool
+	seed     uint64
+}
+
+// benchSketchParams keeps the million-host sketch benchmark inside
+// laptop memory: 8 bins × 16 levels is 128 counters per host (2 ×
+// 128 MB of state at N=1M with the shadow block) instead of the
+// paper's 64×24 (2 × 1.5 GB).
+var benchSketchParams = sketch.Params{Bins: 8, Levels: 16}
+
+// runEngineBench is the `dynaggsim bench` mode: raw push rounds of
+// one protocol at a configurable population — by default the
+// ROADMAP's N=1,000,000 — on either execution path, reporting
+// ns/round, messages/round, and peak RSS. This is the reproducible
+// form of the profile that motivated the columnar engine; combine
+// with -cpuprofile/-memprofile to regenerate it.
+func runEngineBench(out io.Writer, o benchOpts) error {
+	if o.n <= 0 {
+		o.n = 1000000
+	}
+	if o.rounds <= 0 {
+		o.rounds = 10
+	}
+	values := make([]float64, o.n)
+	for i := range values {
+		values[i] = float64(i % 101)
+	}
+	cfg := gossip.Config{
+		Env:     env.NewUniform(o.n),
+		Model:   gossip.Push,
+		Seed:    o.seed,
+		Workers: o.workers,
+	}
+	switch o.protocol {
+	case "pushsum":
+		if o.columnar {
+			cfg.Columnar = pushsum.NewColumnarAverage(values)
+		} else {
+			agents := make([]gossip.Agent, o.n)
+			for i := range agents {
+				agents[i] = pushsum.NewAverage(gossip.NodeID(i), values[i])
+			}
+			cfg.Agents = agents
+		}
+	case "revert":
+		rcfg := pushsumrevert.Config{Lambda: 0.01}
+		if o.columnar {
+			cfg.Columnar = pushsumrevert.NewColumnar(values, rcfg)
+		} else {
+			agents := make([]gossip.Agent, o.n)
+			for i := range agents {
+				agents[i] = pushsumrevert.New(gossip.NodeID(i), values[i], rcfg)
+			}
+			cfg.Agents = agents
+		}
+	case "sketchreset":
+		scfg := sketchreset.Config{Params: benchSketchParams, Identifiers: 1}
+		if o.columnar {
+			cfg.Columnar = sketchreset.NewColumnar(o.n, scfg)
+		} else {
+			agents := make([]gossip.Agent, o.n)
+			for i := range agents {
+				agents[i] = sketchreset.New(gossip.NodeID(i), scfg)
+			}
+			cfg.Agents = agents
+		}
+	default:
+		return fmt.Errorf("bench: unknown -protocol %q (pushsum, revert, sketchreset)", o.protocol)
+	}
+
+	path := "aos"
+	if o.columnar {
+		path = "columnar"
+	}
+	fmt.Fprintf(out, "# engine bench: %s/%s n=%d workers=%d rounds=%d seed=%d\n",
+		o.protocol, path, o.n, o.workers, o.rounds, o.seed)
+
+	engine, err := gossip.NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	// Warm-up: emission columns, arena, and outboxes grow to capacity.
+	engine.Run(2)
+
+	start := time.Now()
+	engine.Run(o.rounds)
+	elapsed := time.Since(start)
+
+	perRound := elapsed / time.Duration(o.rounds)
+	fmt.Fprintf(out, "rounds          %d\n", o.rounds)
+	fmt.Fprintf(out, "total           %v\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "ns/round        %d\n", perRound.Nanoseconds())
+	fmt.Fprintf(out, "msgs/round      %d\n", engine.Messages()/int64(engine.Round()))
+	fmt.Fprintf(out, "peak_rss_bytes  %d\n", sysmem.PeakRSSBytes())
+	if ests := engine.Estimates(); len(ests) > 0 {
+		fmt.Fprintf(out, "estimate mean   %.4f (over %d live hosts)\n", stats.Mean(ests), len(ests))
+	}
+	return nil
+}

@@ -150,11 +150,53 @@ func TestRunSmallExperiments(t *testing.T) {
 		{"fig8", "-n", "400", "-rounds", "15"},
 		{"fig10a", "-n", "400", "-rounds", "15"},
 		{"ablation-pushpull", "-n", "400", "-rounds", "15"},
+		{"ablation-pushpull", "-n", "400", "-rounds", "15", "-columnar"},
 		{"ablation-epoch", "-n", "400", "-rounds", "15"},
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {
 			t.Errorf("run(%v): %v", args, err)
 		}
+	}
+}
+
+// TestRunEngineBench smoke-runs the raw engine benchmark mode on both
+// execution paths at a tiny population, checks the report fields, and
+// exercises the profiling flags every 1M investigation starts from.
+func TestRunEngineBench(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"aos", []string{"bench", "-n", "500", "-rounds", "4"}},
+		{"columnar", []string{"bench", "-n", "500", "-rounds", "4", "-columnar"}},
+		{"revert", []string{"bench", "-n", "500", "-rounds", "4", "-protocol", "revert", "-columnar"}},
+		{"sketchreset", []string{"bench", "-n", "500", "-rounds", "4", "-protocol", "sketchreset", "-columnar", "-workers", "2"}},
+	} {
+		path := filepath.Join(dir, tc.name+".txt")
+		cpu := filepath.Join(dir, tc.name+".cpu.pprof")
+		mem := filepath.Join(dir, tc.name+".mem.pprof")
+		args := append(tc.args, "-o", path, "-cpuprofile", cpu, "-memprofile", mem)
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, field := range []string{"ns/round", "msgs/round", "peak_rss_bytes", "estimate mean"} {
+			if !strings.Contains(string(data), field) {
+				t.Errorf("%s: report missing %q:\n%s", tc.name, field, data)
+			}
+		}
+		for _, prof := range []string{cpu, mem} {
+			if fi, err := os.Stat(prof); err != nil || fi.Size() == 0 {
+				t.Errorf("%s: profile %s missing or empty (err=%v)", tc.name, prof, err)
+			}
+		}
+	}
+	if err := run([]string{"bench", "-protocol", "nope", "-n", "10"}); err == nil {
+		t.Error("unknown bench protocol accepted")
 	}
 }

@@ -29,16 +29,22 @@ func AblationPushPull(sc Scale) Result {
 		values := uniformValues(sc.N, sc.Seed+7)
 		environment := env.NewUniform(sc.N)
 		truth := metrics.NewTruth(values, environment.Population)
-		agents := make([]gossip.Agent, sc.N)
-		for i := range agents {
-			agents[i] = pushsum.NewAverage(gossip.NodeID(i), values[i])
-		}
 		series := stats.Series{Label: model.String()}
-		engine, err := gossip.NewEngine(gossip.Config{
-			Env: environment, Agents: agents, Model: model, Seed: sc.Seed,
+		engineCfg := gossip.Config{
+			Env: environment, Model: model, Seed: sc.Seed,
 			Workers:    sc.Workers,
 			AfterRound: []gossip.Hook{metrics.DeviationHook(&series, truth.Average)},
-		})
+		}
+		if sc.Columnar && model == gossip.Push {
+			engineCfg.Columnar = pushsum.NewColumnarAverage(values)
+		} else {
+			agents := make([]gossip.Agent, sc.N)
+			for i := range agents {
+				agents[i] = pushsum.NewAverage(gossip.NodeID(i), values[i])
+			}
+			engineCfg.Agents = agents
+		}
+		engine, err := gossip.NewEngine(engineCfg)
 		if err != nil {
 			panic(err)
 		}
@@ -73,17 +79,23 @@ func AblationAdaptive(sc Scale) Result {
 		environment := env.NewUniform(sc.N)
 		truth := metrics.NewTruth(values, environment.Population)
 		cfg := pushsumrevert.Config{Lambda: lambda, Adaptive: adaptive}
-		agents := make([]gossip.Agent, sc.N)
-		for i := range agents {
-			agents[i] = pushsumrevert.New(gossip.NodeID(i), values[i], cfg)
-		}
 		series := stats.Series{Label: label}
-		engine, err := gossip.NewEngine(gossip.Config{
-			Env: environment, Agents: agents, Model: gossip.Push, Seed: sc.Seed,
+		engineCfg := gossip.Config{
+			Env: environment, Model: gossip.Push, Seed: sc.Seed,
 			Workers:     sc.Workers,
 			BeforeRound: []gossip.Hook{failure.TopValuedAt(sc.FailAt, 0.5, environment.Population, values)},
 			AfterRound:  []gossip.Hook{metrics.DeviationHook(&series, truth.Average)},
-		})
+		}
+		if sc.Columnar {
+			engineCfg.Columnar = pushsumrevert.NewColumnar(values, cfg)
+		} else {
+			agents := make([]gossip.Agent, sc.N)
+			for i := range agents {
+				agents[i] = pushsumrevert.New(gossip.NodeID(i), values[i], cfg)
+			}
+			engineCfg.Agents = agents
+		}
+		engine, err := gossip.NewEngine(engineCfg)
 		if err != nil {
 			panic(err)
 		}

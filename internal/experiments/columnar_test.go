@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestScaleColumnarMatchesClassic pins the Scale.Columnar flag: the
+// push-model drivers with converted protocols must produce bitwise
+// the same series on the struct-of-arrays path as on the classic
+// agent path. (Push/pull drivers ignore the flag by contract.)
+func TestScaleColumnarMatchesClassic(t *testing.T) {
+	sc := Scale{N: 400, Rounds: 12, FailAt: 5, Seed: 3}
+	colSc := sc
+	colSc.Columnar = true
+	drivers := map[string]func(Scale) Result{
+		"fig10b":            Fig10b, // Full-Transfer, push model
+		"ablation-adaptive": AblationAdaptive,
+		"ablation-pushpull": AblationPushPull, // push leg columnar, pull leg classic
+	}
+	for name, driver := range drivers {
+		t.Run(name, func(t *testing.T) {
+			classic := driver(sc)
+			columnar := driver(colSc)
+			if len(classic.Series) != len(columnar.Series) {
+				t.Fatalf("series count %d vs %d", len(columnar.Series), len(classic.Series))
+			}
+			for si, s := range classic.Series {
+				cs := columnar.Series[si]
+				if s.Label != cs.Label || len(s.Y) != len(cs.Y) {
+					t.Fatalf("series %d shape mismatch: %q/%d vs %q/%d",
+						si, cs.Label, len(cs.Y), s.Label, len(s.Y))
+				}
+				for j := range s.Y {
+					if math.Float64bits(s.Y[j]) != math.Float64bits(cs.Y[j]) {
+						t.Errorf("series %q point %d: columnar %v, classic %v",
+							s.Label, j, cs.Y[j], s.Y[j])
+						break
+					}
+				}
+			}
+		})
+	}
+}

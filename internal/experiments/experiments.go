@@ -109,6 +109,13 @@ type Scale struct {
 	// executor, k >= 1 the sharded parallel one (byte-identical
 	// results either way; see gossip.Config.Workers).
 	Workers int
+	// Columnar selects the struct-of-arrays execution path
+	// (gossip.Config.Columnar) for the push-model drivers whose
+	// protocol has a columnar form (Push-Sum, Push-Sum-Revert,
+	// Count-Sketch-Reset) — byte-identical results, flat-loop speed.
+	// Push/pull drivers and unconverted protocols ignore the flag and
+	// keep running classic agents.
+	Columnar bool
 }
 
 // Default is the laptop-scale sizing: 10,000 hosts.

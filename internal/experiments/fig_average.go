@@ -118,11 +118,6 @@ func runAveragingOnce(opts AveragingOptions, lambda float64) stats.Series {
 		cfg = pushsumrevert.Config{Lambda: lambda, Adaptive: true}
 	}
 
-	agents := make([]gossip.Agent, opts.N)
-	for i := range agents {
-		agents[i] = pushsumrevert.New(gossip.NodeID(i), values[i], cfg)
-	}
-
 	series := stats.Series{Label: fmt.Sprintf("λ=%.4f", lambda)}
 	var failHook gossip.Hook
 	switch opts.Model {
@@ -131,12 +126,22 @@ func runAveragingOnce(opts AveragingOptions, lambda float64) stats.Series {
 	default:
 		failHook = failure.RandomAt(opts.FailAt, 0.5, environment.Population, opts.Seed+13)
 	}
-	engine, err := gossip.NewEngine(gossip.Config{
-		Env: environment, Agents: agents, Model: model, Seed: opts.Seed,
+	engineCfg := gossip.Config{
+		Env: environment, Model: model, Seed: opts.Seed,
 		Workers:     opts.Workers,
 		BeforeRound: []gossip.Hook{failHook},
 		AfterRound:  []gossip.Hook{metrics.DeviationHook(&series, truth.Average)},
-	})
+	}
+	if opts.Columnar && model == gossip.Push {
+		engineCfg.Columnar = pushsumrevert.NewColumnar(values, cfg)
+	} else {
+		agents := make([]gossip.Agent, opts.N)
+		for i := range agents {
+			agents[i] = pushsumrevert.New(gossip.NodeID(i), values[i], cfg)
+		}
+		engineCfg.Agents = agents
+	}
+	engine, err := gossip.NewEngine(engineCfg)
 	if err != nil {
 		panic(err)
 	}

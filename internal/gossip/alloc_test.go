@@ -6,6 +6,7 @@ import (
 	"dynagg/internal/env"
 	"dynagg/internal/gossip"
 	"dynagg/internal/protocol/pushsum"
+	"dynagg/internal/protocol/pushsumrevert"
 	"dynagg/internal/protocol/sketchcount"
 	"dynagg/internal/protocol/sketchreset"
 	"dynagg/internal/sketch"
@@ -41,6 +42,60 @@ func allocsPerHostRound(t *testing.T, agents []gossip.Agent, workers int) float6
 	engine.Run(4)
 	perStep := testing.AllocsPerRun(3, func() { engine.Step() })
 	return perStep / float64(n)
+}
+
+// allocsPerHostRoundColumnar is the columnar twin of
+// allocsPerHostRound: same warm-up, same steady-state measurement,
+// struct-of-arrays execution path.
+func allocsPerHostRoundColumnar(t *testing.T, col gossip.ColumnarAgent, workers int) float64 {
+	t.Helper()
+	n := col.Len()
+	engine, err := gossip.NewEngine(gossip.Config{
+		Env:      env.NewUniform(n),
+		Columnar: col,
+		Model:    gossip.Push,
+		Seed:     3,
+		Workers:  workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Run(4)
+	perStep := testing.AllocsPerRun(3, func() { engine.Step() })
+	return perStep / float64(n)
+}
+
+// TestColumnarAllocBudget pins the columnar hot path to the same
+// steady-state budget as the classic message plane: the flat-column
+// round must not allocate at all once the emission column has grown
+// to capacity, on both the sequential and sharded executors.
+func TestColumnarAllocBudget(t *testing.T) {
+	const n = 512
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i % 101)
+	}
+	builders := map[string]func() gossip.ColumnarAgent{
+		"pushsum": func() gossip.ColumnarAgent { return pushsum.NewColumnarAverage(values) },
+		"pushsumrevert": func() gossip.ColumnarAgent {
+			return pushsumrevert.NewColumnar(values, pushsumrevert.Config{Lambda: 0.02})
+		},
+		"sketchreset": func() gossip.ColumnarAgent {
+			return sketchreset.NewColumnar(n, sketchreset.Config{
+				Params:      sketch.Params{Bins: 16, Levels: 16},
+				Identifiers: 1,
+			})
+		},
+	}
+	for name, mk := range builders {
+		for _, workers := range []int{0, 2} {
+			got := allocsPerHostRoundColumnar(t, mk(), workers)
+			if got > allocBudgetPerHostRound {
+				t.Errorf("%s workers=%d: %.3f allocs per host-round, budget %.1f",
+					name, workers, got, allocBudgetPerHostRound)
+			}
+		}
+	}
 }
 
 // TestPushSumAllocBudget pins the Push-Sum hot path: the paper's

@@ -1,0 +1,201 @@
+// Columnar (struct-of-arrays) execution path.
+//
+// The classic path runs one heap-allocated agent per host behind the
+// Agent interface: every BeginRound/Emit/Receive/EndRound is an
+// indirect call landing on a random heap address — at a million hosts
+// the round is bound by pointer-chasing, not arithmetic. The columnar
+// path inverts the layout: ONE protocol value owns dense per-host
+// state arrays for the whole population (Push-Sum becomes w, v, inW,
+// inV []float64) and the engine hands it whole host *ranges* per
+// phase, so the round body is flat loops over contiguous columns with
+// four interface calls per range instead of four per host.
+//
+// Messages travel the same way: instead of Envelope's `Payload any`
+// (an interface box per message), emissions are appended to a dense
+// []ColMsg column carrying the destination, the source, and an inline
+// (W, V) mass. Mass protocols read the mass; matrix protocols
+// (Count-Sketch-Reset) use From to index their own population-wide
+// state block. The engine filters dead destinations and counts
+// traffic centrally, exactly as the classic path does.
+//
+// Determinism contract: the columnar path is byte-identical to the
+// classic sequential executor. Peer picks consume the same per-host
+// PRNG splits through ColRound.Pick, emissions are appended in
+// ascending host order with each host's envelopes in the same
+// intra-host order as Emit, and Deliver receives messages in emitter
+// order — so every destination folds payloads in exactly the sequence
+// the per-host inboxes produced. (Float accumulation is
+// order-sensitive; preserving fold order is what makes the parity
+// exact rather than approximate.)
+//
+// The columnar path supports the Push model only. Push/pull's atomic
+// pairwise exchanges serialize on shared state and gain nothing from
+// a columnar plane; classic agents remain the path for that model.
+package gossip
+
+import (
+	"fmt"
+
+	"dynagg/internal/xrand"
+)
+
+// Mass is the inline (weight, value) payload of the columnar message
+// plane. Mass-vector protocols gossip it directly; protocols with
+// larger state ignore it and address their own columns via
+// ColMsg.From.
+type Mass struct {
+	W float64
+	V float64
+}
+
+// ColMsg is one message in the columnar plane: a destination, the
+// emitting host, and an inline mass. No pointers, no interface boxing
+// — a round's traffic is one flat, cache-sequential column.
+type ColMsg struct {
+	To   NodeID
+	From NodeID
+	Mass Mass
+}
+
+// ColRound is the engine-side context handed to columnar round
+// kernels. One value serves a whole executor shard; fields are
+// read-only for kernels except Out, which EmitRange appends to.
+type ColRound struct {
+	// Round is the current round number.
+	Round int
+	// Alive is the population-wide liveness bitmap, fixed for the
+	// round (the engine samples Environment.Alive once per host after
+	// Advance and the BeforeRound hooks).
+	Alive []bool
+	// Out is the emission column for the current EmitRange call.
+	// Kernels append with plain append(); the engine counts, filters
+	// dead destinations, and routes afterwards.
+	Out []ColMsg
+
+	env  Environment
+	rngs []*xrand.Rand
+}
+
+// Pick draws one gossip partner for host id from the environment,
+// consuming id's private PRNG — the same stream, in the same order,
+// as the classic path's PeerPicker.
+func (rc *ColRound) Pick(id NodeID) (NodeID, bool) {
+	return rc.env.Pick(id, rc.Round, rc.rngs[id])
+}
+
+// Rng returns host id's private generator, for kernels that draw
+// randomness beyond peer selection.
+func (rc *ColRound) Rng(id NodeID) *xrand.Rand { return rc.rngs[id] }
+
+// ColumnarAgent is the bulk-protocol contract: one value owns the
+// dense state of the entire population and executes round phases as
+// flat loops over host ranges.
+//
+// The engine calls, every push round, in order: BeginRange covering
+// every host; EmitRange covering every host (appending to rc.Out);
+// Deliver with the surviving messages in emitter order; EndRange
+// covering every host. Under the parallel executor the Begin/Emit/End
+// phases are invoked once per contiguous shard range concurrently, and
+// Deliver is invoked per destination shard with that shard's messages
+// — kernels must therefore only write state belonging to the hosts in
+// the given range (or, for Deliver, to the message destinations) and
+// may read any host's *start-of-round* state.
+//
+// Kernels must skip hosts with rc.Alive[id] == false in BeginRange,
+// EmitRange, and EndRange, mirroring the classic engine's dead-host
+// gating.
+type ColumnarAgent interface {
+	// Len returns the population size.
+	Len() int
+	// BeginRange resets per-round columns for hosts [lo, hi).
+	BeginRange(rc *ColRound, lo, hi int)
+	// EmitRange computes emissions for hosts [lo, hi), appending them
+	// to rc.Out in ascending host order. Every live host in the range
+	// initiates exactly one gossip contact (plus any self-messages its
+	// protocol specifies).
+	EmitRange(rc *ColRound, lo, hi int)
+	// Deliver folds a batch of messages into their destinations'
+	// per-round columns. Messages arrive in emitter order; all
+	// destinations are alive this round.
+	Deliver(rc *ColRound, msgs []ColMsg)
+	// EndRange folds received state into host state and refreshes
+	// estimates for hosts [lo, hi).
+	EndRange(rc *ColRound, lo, hi int)
+	// Estimate returns host id's current estimate of the aggregate;
+	// ok is false before any estimate exists.
+	Estimate(id NodeID) (value float64, ok bool)
+}
+
+// Columnar returns the engine's columnar protocol, or nil when the
+// engine runs classic agents.
+func (e *Engine) Columnar() ColumnarAgent { return e.col }
+
+// fillAlive samples the environment's liveness for hosts [lo, hi)
+// into the round bitmap and returns the live count. Environment.Alive
+// is stable between Advance calls, so sampling once per round is
+// equivalent to the classic path's repeated queries — and cheaper.
+func (e *Engine) fillAlive(r, lo, hi int) int {
+	live := 0
+	alive := e.colAlive
+	for id := lo; id < hi; id++ {
+		a := e.env.Alive(NodeID(id), r)
+		alive[id] = a
+		if a {
+			live++
+		}
+	}
+	return live
+}
+
+// stepPushColumnar is the sequential columnar push round: the same
+// begin → emit → deliver → end structure as stepPush, but each phase
+// is one kernel call over the whole population and messages never
+// leave the flat ColMsg column. No bucket sort is needed: folding the
+// emission column in raw emitter order gives every destination its
+// payloads in exactly the per-inbox order the classic path produced.
+func (e *Engine) stepPushColumnar(r int) {
+	n := e.col.Len()
+	rc := &e.colRound
+	rc.Round = r
+	rc.Alive = e.colAlive
+
+	live := e.fillAlive(r, 0, n)
+	e.col.BeginRange(rc, 0, n)
+
+	rc.Out = rc.Out[:0]
+	e.col.EmitRange(rc, 0, n)
+
+	// Every live host initiated one contact; every appended message
+	// counts, including those lost to dead destinations — identical
+	// accounting to the classic loop.
+	e.contacts += int64(live)
+	e.messages += int64(len(rc.Out))
+
+	// Drop messages to dead hosts in place (stable, so emitter order
+	// is preserved), then deliver the survivors in one flat pass.
+	kept := rc.Out[:0]
+	for _, m := range rc.Out {
+		if rc.Alive[m.To] {
+			kept = append(kept, m)
+		}
+	}
+	rc.Out = kept
+	if len(kept) > 0 {
+		e.col.Deliver(rc, kept)
+	}
+	e.col.EndRange(rc, 0, n)
+}
+
+// validateColumnar checks the columnar half of a Config.
+func validateColumnar(cfg Config) error {
+	if len(cfg.Agents) != 0 {
+		return fmt.Errorf("gossip: Config.Columnar and Config.Agents are mutually exclusive")
+	}
+	if cfg.Model != Push {
+		return fmt.Errorf("gossip: the columnar path supports the push model only, got %s", cfg.Model)
+	}
+	if got, want := cfg.Columnar.Len(), cfg.Env.Size(); got != want {
+		return fmt.Errorf("gossip: columnar population %d for environment of size %d", got, want)
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package gossip_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dynagg/internal/env"
+	"dynagg/internal/failure"
+	"dynagg/internal/gossip"
+	"dynagg/internal/protocol/pushsum"
+	"dynagg/internal/protocol/pushsumrevert"
+	"dynagg/internal/protocol/sketchreset"
+	"dynagg/internal/sketch"
+)
+
+// colCase pairs a protocol's classic (one agent per host) and
+// columnar (one struct for the population) constructions.
+type colCase struct {
+	agents   func(n int) []gossip.Agent
+	columnar func(n int) gossip.ColumnarAgent
+}
+
+func columnarCases(t *testing.T) map[string]colCase {
+	t.Helper()
+	values := func(n int) []float64 {
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = float64((i * 31) % 101)
+		}
+		return vs
+	}
+	srCfg := sketchreset.Config{
+		Params:      sketch.Params{Bins: 8, Levels: 12},
+		Identifiers: 1,
+	}
+	revertCfg := func(variant string) pushsumrevert.Config {
+		switch variant {
+		case "fulltransfer":
+			return pushsumrevert.Config{Lambda: 0.02, FullTransfer: true, Parcels: 4, Window: 3}
+		case "adaptive":
+			return pushsumrevert.Config{Lambda: 0.02, Adaptive: true}
+		default:
+			return pushsumrevert.Config{Lambda: 0.02}
+		}
+	}
+	cases := map[string]colCase{
+		"pushsum": {
+			agents: func(n int) []gossip.Agent {
+				agents := make([]gossip.Agent, n)
+				for i, v := range values(n) {
+					agents[i] = pushsum.NewAverage(gossip.NodeID(i), v)
+				}
+				return agents
+			},
+			columnar: func(n int) gossip.ColumnarAgent {
+				return pushsum.NewColumnarAverage(values(n))
+			},
+		},
+		"sketchreset": {
+			agents: func(n int) []gossip.Agent {
+				agents := make([]gossip.Agent, n)
+				for i := range agents {
+					agents[i] = sketchreset.New(gossip.NodeID(i), srCfg)
+				}
+				return agents
+			},
+			columnar: func(n int) gossip.ColumnarAgent {
+				return sketchreset.NewColumnar(n, srCfg)
+			},
+		},
+	}
+	for _, variant := range []string{"basic", "adaptive", "fulltransfer"} {
+		cfg := revertCfg(variant)
+		cases["pushsumrevert-"+variant] = colCase{
+			agents: func(n int) []gossip.Agent {
+				agents := make([]gossip.Agent, n)
+				for i, v := range values(n) {
+					agents[i] = pushsumrevert.New(gossip.NodeID(i), v, cfg)
+				}
+				return agents
+			},
+			columnar: func(n int) gossip.ColumnarAgent {
+				return pushsumrevert.NewColumnar(values(n), cfg)
+			},
+		}
+	}
+	return cases
+}
+
+// columnarFingerprint runs one engine to completion and captures the
+// exact bit pattern of every host's estimate (dead hosts included,
+// via EstimateOf) plus the traffic counters.
+func columnarFingerprint(t *testing.T, cfg gossip.Config, n, rounds int) fingerprint {
+	t.Helper()
+	engine, err := gossip.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Run(rounds)
+	fp := fingerprint{messages: engine.Messages(), contacts: engine.Contacts()}
+	for id := 0; id < n; id++ {
+		v, ok := engine.EstimateOf(gossip.NodeID(id))
+		if !ok {
+			v = math.Inf(-1)
+		}
+		fp.estimates = append(fp.estimates, math.Float64bits(v))
+	}
+	return fp
+}
+
+// TestColumnarMatchesClassic pins the tentpole determinism contract:
+// for each converted protocol, the columnar engine — sequential and
+// sharded at several worker counts — produces byte-identical
+// estimates, message counts, and contact counts to the classic
+// sequential engine over the same seed and failure schedule. A
+// mid-run failure wave plus continuous churn exercises dead-host
+// gating, lost messages, and revival on both paths. The population is
+// deliberately not a multiple of the worker counts.
+func TestColumnarMatchesClassic(t *testing.T) {
+	const (
+		n      = 331
+		rounds = 14
+		seed   = 9
+	)
+	build := func(mk func() (agents []gossip.Agent, col gossip.ColumnarAgent), workers int, columnar bool) gossip.Config {
+		environment := env.NewUniform(n)
+		agents, col := mk()
+		cfg := gossip.Config{
+			Env:     environment,
+			Model:   gossip.Push,
+			Seed:    seed,
+			Workers: workers,
+			BeforeRound: []gossip.Hook{
+				failure.RandomAt(rounds/2, 0.3, environment.Population, 17),
+				failure.Churn(rounds/2+2, 0.05, environment.Population, 23),
+			},
+		}
+		if columnar {
+			cfg.Columnar = col
+		} else {
+			cfg.Agents = agents
+		}
+		return cfg
+	}
+	for name, c := range columnarCases(t) {
+		t.Run(name, func(t *testing.T) {
+			mkClassic := func() ([]gossip.Agent, gossip.ColumnarAgent) { return c.agents(n), nil }
+			mkColumnar := func() ([]gossip.Agent, gossip.ColumnarAgent) { return nil, c.columnar(n) }
+			want := columnarFingerprint(t, build(mkClassic, 0, false), n, rounds)
+			// The classic parallel executor is pinned elsewhere, but
+			// one sample here keeps all three executors in one table.
+			fps := map[string]fingerprint{
+				"classic/workers=4": columnarFingerprint(t, build(mkClassic, 4, false), n, rounds),
+			}
+			for _, workers := range []int{0, 1, 4} {
+				key := fmt.Sprintf("columnar/workers=%d", workers)
+				fps[key] = columnarFingerprint(t, build(mkColumnar, workers, true), n, rounds)
+			}
+			for key, got := range fps {
+				if got.messages != want.messages {
+					t.Errorf("%s: Messages = %d, classic sequential %d", key, got.messages, want.messages)
+				}
+				if got.contacts != want.contacts {
+					t.Errorf("%s: Contacts = %d, classic sequential %d", key, got.contacts, want.contacts)
+				}
+				for i := range want.estimates {
+					if got.estimates[i] != want.estimates[i] {
+						t.Errorf("%s: host %d estimate bits %#x, classic sequential %#x",
+							key, i, got.estimates[i], want.estimates[i])
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestColumnarConfigValidation pins the columnar half of the Config
+// contract: push-only, agent-exclusive, population-sized.
+func TestColumnarConfigValidation(t *testing.T) {
+	values := []float64{1, 2, 3, 4}
+	col := pushsum.NewColumnarAverage(values)
+	if _, err := gossip.NewEngine(gossip.Config{
+		Env: env.NewUniform(4), Columnar: col, Model: gossip.PushPull,
+	}); err == nil {
+		t.Error("push-pull columnar engine accepted")
+	}
+	if _, err := gossip.NewEngine(gossip.Config{
+		Env:      env.NewUniform(4),
+		Columnar: col,
+		Agents:   []gossip.Agent{pushsum.NewAverage(0, 1)},
+	}); err == nil {
+		t.Error("Columnar+Agents engine accepted")
+	}
+	if _, err := gossip.NewEngine(gossip.Config{
+		Env: env.NewUniform(5), Columnar: col,
+	}); err == nil {
+		t.Error("population/environment size mismatch accepted")
+	}
+	if _, err := gossip.NewEngine(gossip.Config{
+		Env: env.NewUniform(4), Columnar: col,
+	}); err != nil {
+		t.Errorf("valid columnar config rejected: %v", err)
+	}
+}

@@ -137,8 +137,15 @@ type Hook func(round int, e *Engine)
 type Config struct {
 	Env    Environment
 	Agents []Agent
-	Model  Model
-	Seed   uint64
+	// Columnar selects the struct-of-arrays execution path: one
+	// protocol value owning dense per-host state columns for the whole
+	// population, run as flat loops instead of per-host interface
+	// calls (see columnar.go). Mutually exclusive with Agents; push
+	// model only. Results are byte-identical to the classic path for
+	// the same seed.
+	Columnar ColumnarAgent
+	Model    Model
+	Seed     uint64
 	// Workers selects the round executor. 0 runs the original
 	// sequential loop; k >= 1 runs the sharded parallel executor with
 	// k workers (DefaultWorkers picks a GOMAXPROCS-sized pool). Both
@@ -192,6 +199,14 @@ type Engine struct {
 	pickID    NodeID
 	pickRound int
 
+	// Columnar path state: the bulk protocol, the reusable round
+	// context of the sequential executor, and the per-round liveness
+	// bitmap shared by all columnar executors. All nil/empty when the
+	// engine runs classic agents.
+	col      ColumnarAgent
+	colRound ColRound
+	colAlive []bool
+
 	// par holds the sharded executor state; nil in sequential mode.
 	par *parExec
 }
@@ -201,7 +216,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Env == nil {
 		return nil, fmt.Errorf("gossip: Config.Env is nil")
 	}
-	if len(cfg.Agents) != cfg.Env.Size() {
+	if cfg.Columnar != nil {
+		if err := validateColumnar(cfg); err != nil {
+			return nil, err
+		}
+	} else if len(cfg.Agents) != cfg.Env.Size() {
 		return nil, fmt.Errorf("gossip: %d agents for environment of size %d",
 			len(cfg.Agents), cfg.Env.Size())
 	}
@@ -215,31 +234,43 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("gossip: Config.Workers must be >= 0, got %d", cfg.Workers)
 	}
+	n := cfg.Env.Size()
+	// Per-host PRNG splits live in one flat block: the generators are
+	// hot on every peer pick, and a contiguous layout keeps them
+	// cache-resident instead of scattered across the heap (at N=1M
+	// this is also one allocation instead of a million).
 	root := xrand.New(cfg.Seed)
-	rngs := make([]*xrand.Rand, len(cfg.Agents))
+	store := make([]xrand.Rand, n)
+	rngs := make([]*xrand.Rand, n)
 	for i := range rngs {
-		rngs[i] = root.Split(uint64(i))
+		store[i] = *root.Split(uint64(i))
+		rngs[i] = &store[i]
 	}
-	n := len(cfg.Agents)
 	e := &Engine{
-		env:      cfg.Env,
-		agents:   cfg.Agents,
-		model:    cfg.Model,
-		rngs:     rngs,
-		before:   cfg.BeforeRound,
-		after:    cfg.AfterRound,
-		emitters: make([]AppendEmitter, n),
-		counts:   make([]int32, n),
-		offsets:  make([]int32, n),
-		cursor:   make([]int32, n),
+		env:    cfg.Env,
+		agents: cfg.Agents,
+		model:  cfg.Model,
+		rngs:   rngs,
+		before: cfg.BeforeRound,
+		after:  cfg.AfterRound,
+		col:    cfg.Columnar,
 	}
-	for i, a := range cfg.Agents {
-		if ae, ok := a.(AppendEmitter); ok {
-			e.emitters[i] = ae
+	if e.col != nil {
+		e.colAlive = make([]bool, n)
+		e.colRound = ColRound{env: e.env, rngs: e.rngs}
+	} else {
+		e.emitters = make([]AppendEmitter, n)
+		e.counts = make([]int32, n)
+		e.offsets = make([]int32, n)
+		e.cursor = make([]int32, n)
+		for i, a := range cfg.Agents {
+			if ae, ok := a.(AppendEmitter); ok {
+				e.emitters[i] = ae
+			}
 		}
-	}
-	e.pick = func() (NodeID, bool) {
-		return e.env.Pick(e.pickID, e.pickRound, e.rngs[e.pickID])
+		e.pick = func() (NodeID, bool) {
+			return e.env.Pick(e.pickID, e.pickRound, e.rngs[e.pickID])
+		}
 	}
 	if cfg.Workers > 0 {
 		e.par = newParExec(e, n, cfg.Workers)
@@ -279,10 +310,12 @@ func (e *Engine) Contacts() int64 { return e.contacts }
 // Env returns the engine's environment.
 func (e *Engine) Env() Environment { return e.env }
 
-// Agent returns the agent at the given host.
+// Agent returns the agent at the given host. It panics on a columnar
+// engine, which has no per-host agents; use EstimateOf or Columnar.
 func (e *Engine) Agent(id NodeID) Agent { return e.agents[id] }
 
-// Agents returns the full agent slice (shared, not copied).
+// Agents returns the full agent slice (shared, not copied). It is nil
+// on a columnar engine.
 func (e *Engine) Agents() []Agent { return e.agents }
 
 // Rng returns host id's private generator (used by hooks that need
@@ -297,6 +330,10 @@ func (e *Engine) Step() {
 		h(r, e)
 	}
 	switch {
+	case e.col != nil && e.par != nil:
+		e.stepPushColumnarParallel(r)
+	case e.col != nil:
+		e.stepPushColumnar(r)
 	case e.par != nil && e.model == Push:
 		e.stepPushParallel(r)
 	case e.par != nil && e.model == PushPull:
@@ -428,12 +465,21 @@ func (e *Engine) stepPushPull(r int) {
 
 // Estimates returns the current estimates of all live hosts.
 func (e *Engine) Estimates() []float64 {
-	out := make([]float64, 0, len(e.agents))
-	for id, a := range e.agents {
-		if !e.env.Alive(NodeID(id), e.round) {
+	n := e.env.Size()
+	out := make([]float64, 0, n)
+	for id := 0; id < n; id++ {
+		nid := NodeID(id)
+		if !e.env.Alive(nid, e.round) {
 			continue
 		}
-		if v, ok := a.Estimate(); ok {
+		var v float64
+		var ok bool
+		if e.col != nil {
+			v, ok = e.col.Estimate(nid)
+		} else {
+			v, ok = e.agents[id].Estimate()
+		}
+		if ok {
 			out = append(out, v)
 		}
 	}
@@ -445,6 +491,9 @@ func (e *Engine) Estimates() []float64 {
 func (e *Engine) EstimateOf(id NodeID) (float64, bool) {
 	if !e.env.Alive(id, e.round) {
 		return 0, false
+	}
+	if e.col != nil {
+		return e.col.Estimate(id)
 	}
 	return e.agents[id].Estimate()
 }

@@ -1,9 +1,13 @@
-package gossip
+package gossip_test
 
 import (
 	"fmt"
 	"testing"
 
+	"dynagg/internal/env"
+	"dynagg/internal/gossip"
+	"dynagg/internal/protocol/pushsum"
+	"dynagg/internal/sysmem"
 	"dynagg/internal/xrand"
 )
 
@@ -12,7 +16,7 @@ import (
 // implements both emission contracts so the benchmarks measure the
 // zero-allocation message plane, as the real protocols do.
 type massAgent struct {
-	id   NodeID
+	id   gossip.NodeID
 	w, v float64
 	iw   float64
 	iv   float64
@@ -20,22 +24,22 @@ type massAgent struct {
 }
 
 func (a *massAgent) BeginRound(int) { a.iw, a.iv = 0, 0 }
-func (a *massAgent) Emit(_ int, _ *xrand.Rand, pick PeerPicker) []Envelope {
+func (a *massAgent) Emit(_ int, _ *xrand.Rand, pick gossip.PeerPicker) []gossip.Envelope {
 	peer, ok := pick()
 	if !ok {
-		return []Envelope{{To: a.id, Payload: [2]float64{a.w, a.v}}}
+		return []gossip.Envelope{{To: a.id, Payload: [2]float64{a.w, a.v}}}
 	}
 	h := [2]float64{a.w / 2, a.v / 2}
-	return []Envelope{{To: peer, Payload: h}, {To: a.id, Payload: h}}
+	return []gossip.Envelope{{To: peer, Payload: h}, {To: a.id, Payload: h}}
 }
-func (a *massAgent) EmitAppend(dst []Envelope, _ int, _ *xrand.Rand, pick PeerPicker) []Envelope {
+func (a *massAgent) EmitAppend(dst []gossip.Envelope, _ int, _ *xrand.Rand, pick gossip.PeerPicker) []gossip.Envelope {
 	peer, ok := pick()
 	if !ok {
 		a.out = [2]float64{a.w, a.v}
-		return append(dst, Envelope{To: a.id, Payload: &a.out})
+		return append(dst, gossip.Envelope{To: a.id, Payload: &a.out})
 	}
 	a.out = [2]float64{a.w / 2, a.v / 2}
-	return append(dst, Envelope{To: peer, Payload: &a.out}, Envelope{To: a.id, Payload: &a.out})
+	return append(dst, gossip.Envelope{To: peer, Payload: &a.out}, gossip.Envelope{To: a.id, Payload: &a.out})
 }
 func (a *massAgent) Receive(p any) {
 	var m [2]float64
@@ -50,7 +54,7 @@ func (a *massAgent) Receive(p any) {
 }
 func (a *massAgent) EndRound(int)              { a.w, a.v = a.iw, a.iv }
 func (a *massAgent) Estimate() (float64, bool) { return a.v / a.w, true }
-func (a *massAgent) Exchange(peer Exchanger) {
+func (a *massAgent) Exchange(peer gossip.Exchanger) {
 	p := peer.(*massAgent)
 	mw, mv := (a.w+p.w)/2, (a.v+p.v)/2
 	a.w, p.w = mw, mw
@@ -59,34 +63,83 @@ func (a *massAgent) Exchange(peer Exchanger) {
 
 type benchEnv struct{ n int }
 
-func (e benchEnv) Size() int              { return e.n }
-func (e benchEnv) Alive(NodeID, int) bool { return true }
-func (e benchEnv) Advance(int)            {}
-func (e benchEnv) Pick(id NodeID, _ int, rng *xrand.Rand) (NodeID, bool) {
+func (e benchEnv) Size() int                     { return e.n }
+func (e benchEnv) Alive(gossip.NodeID, int) bool { return true }
+func (e benchEnv) Advance(int)                   {}
+func (e benchEnv) Pick(id gossip.NodeID, _ int, rng *xrand.Rand) (gossip.NodeID, bool) {
 	for {
-		c := NodeID(rng.Intn(e.n))
+		c := gossip.NodeID(rng.Intn(e.n))
 		if c != id {
 			return c, true
 		}
 	}
 }
 
-func benchEngine(b *testing.B, n int, model Model, workers int) *Engine {
+func benchEngine(b *testing.B, n int, model gossip.Model, workers int) *gossip.Engine {
 	b.Helper()
-	agents := make([]Agent, n)
+	agents := make([]gossip.Agent, n)
 	for i := range agents {
-		agents[i] = &massAgent{id: NodeID(i), w: 1, v: float64(i)}
+		agents[i] = &massAgent{id: gossip.NodeID(i), w: 1, v: float64(i)}
 	}
-	e, err := NewEngine(Config{Env: benchEnv{n}, Agents: agents, Model: model, Seed: 1, Workers: workers})
+	e, err := gossip.NewEngine(gossip.Config{Env: benchEnv{n}, Agents: agents, Model: model, Seed: 1, Workers: workers})
 	if err != nil {
 		b.Fatal(err)
 	}
 	return e
 }
 
+// benchValues is the shared Push-Sum workload for the AoS/columnar
+// comparison benchmarks.
+func benchValues(n int) []float64 {
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = float64(i % 101)
+	}
+	return vs
+}
+
+// benchPushSumEngine builds a real Push-Sum engine over the uniform
+// environment on either execution path.
+func benchPushSumEngine(b *testing.B, n, workers int, columnar bool) *gossip.Engine {
+	b.Helper()
+	vs := benchValues(n)
+	cfg := gossip.Config{Env: env.NewUniform(n), Model: gossip.Push, Seed: 1, Workers: workers}
+	if columnar {
+		cfg.Columnar = pushsum.NewColumnarAverage(vs)
+	} else {
+		agents := make([]gossip.Agent, n)
+		for i := range agents {
+			agents[i] = pushsum.NewAverage(gossip.NodeID(i), vs[i])
+		}
+		cfg.Agents = agents
+	}
+	e, err := gossip.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// stepRounds is the common measured loop: warm the engine past the
+// buffer-growth phase, then time steady-state rounds. reportRSS adds
+// the process peak-RSS gauge for the memory-ceiling trajectory.
+func stepRounds(b *testing.B, e *gossip.Engine, reportRSS bool) {
+	b.Helper()
+	e.Run(2) // warm-up: emission columns, arena, and outboxes reach capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	b.StopTimer()
+	if reportRSS {
+		b.ReportMetric(float64(sysmem.PeakRSSBytes()), "peak-rss-bytes")
+	}
+}
+
 // BenchmarkRoundPush measures one push round over 10,000 hosts.
 func BenchmarkRoundPush(b *testing.B) {
-	e := benchEngine(b, 10000, Push, 0)
+	e := benchEngine(b, 10000, gossip.Push, 0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -97,7 +150,7 @@ func BenchmarkRoundPush(b *testing.B) {
 // BenchmarkRoundPushPull measures one push/pull round over 10,000
 // hosts.
 func BenchmarkRoundPushPull(b *testing.B) {
-	e := benchEngine(b, 10000, PushPull, 0)
+	e := benchEngine(b, 10000, gossip.PushPull, 0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -105,15 +158,22 @@ func BenchmarkRoundPushPull(b *testing.B) {
 	}
 }
 
-// BenchmarkEngine compares sequential stepping against the sharded
-// executor at N=10,000 and N=100,000 for both models, tracking the
-// parallel speedup and the message plane's allocation profile in the
-// perf trajectory. workers=0 is the sequential baseline; workers=G
-// uses a GOMAXPROCS-sized pool. (Formerly BenchmarkEngineParallel.)
+// BenchmarkEngine is the engine's perf trajectory in one table.
+//
+// The first block is the historical engine-overhead matrix (a minimal
+// mass agent, both models, sequential vs sharded) — names unchanged
+// so benchstat tracks them across PRs. The second block is the
+// execution-path comparison on the real Push-Sum protocol: aos runs
+// one heap node per host behind the Agent interface, columnar runs
+// the struct-of-arrays path (flat loops over population-wide state
+// columns, ColMsg message plane). The third block is the
+// million-host configuration the columnar path exists for — skipped
+// under -short (see make bench-1m), with peak RSS recorded alongside
+// ns/round.
 func BenchmarkEngine(b *testing.B) {
 	for _, n := range []int{10000, 100000} {
-		for _, model := range []Model{Push, PushPull} {
-			for _, workers := range []int{0, DefaultWorkers()} {
+		for _, model := range []gossip.Model{gossip.Push, gossip.PushPull} {
+			for _, workers := range []int{0, gossip.DefaultWorkers()} {
 				name := fmt.Sprintf("n=%d/%s/workers=%d", n, model, workers)
 				b.Run(name, func(b *testing.B) {
 					e := benchEngine(b, n, model, workers)
@@ -125,5 +185,40 @@ func BenchmarkEngine(b *testing.B) {
 				})
 			}
 		}
+	}
+	for _, n := range []int{10000, 100000} {
+		for _, path := range []string{"pushsum-aos", "pushsum-columnar"} {
+			for _, workers := range []int{0, gossip.DefaultWorkers()} {
+				name := fmt.Sprintf("n=%d/push/%s/workers=%d", n, path, workers)
+				b.Run(name, func(b *testing.B) {
+					e := benchPushSumEngine(b, n, workers, path == "pushsum-columnar")
+					stepRounds(b, e, false)
+				})
+			}
+		}
+	}
+	// N=1,000,000: the ROADMAP's million-host target. The AoS run is
+	// the "before" column of the README table; columnar runs both
+	// executors. ~25M messages of warm-up + measurement per case, so
+	// -short (the smoke lane) skips the block and `make bench-1m`
+	// runs it deliberately.
+	if testing.Short() {
+		return
+	}
+	const million = 1000000
+	cases := []struct {
+		path    string
+		workers int
+	}{
+		{"pushsum-aos", 0},
+		{"pushsum-columnar", 0},
+		{"pushsum-columnar", gossip.DefaultWorkers()},
+	}
+	for _, c := range cases {
+		name := fmt.Sprintf("n=%d/push/%s/workers=%d", million, c.path, c.workers)
+		b.Run(name, func(b *testing.B) {
+			e := benchPushSumEngine(b, million, c.workers, c.path == "pushsum-columnar")
+			stepRounds(b, e, true)
+		})
 	}
 }

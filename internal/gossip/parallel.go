@@ -72,6 +72,13 @@ type parExec struct {
 	picks    []pick  // per-host peer selection (push/pull)
 	lastWave []int32 // per-host index of the last wave touching it
 	waves    [][]int32
+
+	// Columnar executor state: one round context per shard (each with
+	// its own emission column) and colOutbox[src][dst] buffering the
+	// messages shard src emitted for hosts owned by shard dst, in
+	// emission order. Empty when the engine runs classic agents.
+	colRounds []ColRound
+	colOutbox [][][]ColMsg
 }
 
 func newParExec(e *Engine, n, workers int) *parExec {
@@ -97,6 +104,14 @@ func newParExec(e *Engine, n, workers int) *parExec {
 		st := &p.pickState[s]
 		p.pickers[s] = func() (NodeID, bool) {
 			return e.env.Pick(st.id, st.round, e.rngs[st.id])
+		}
+	}
+	if e.col != nil {
+		p.colRounds = make([]ColRound, workers)
+		p.colOutbox = make([][][]ColMsg, workers)
+		for s := range p.colRounds {
+			p.colRounds[s] = ColRound{env: e.env, rngs: e.rngs}
+			p.colOutbox[s] = make([][]ColMsg, workers)
 		}
 	}
 	return p
@@ -217,6 +232,65 @@ func (e *Engine) stepPushParallel(r int) {
 				e.agents[id].EndRound(r)
 			}
 		}
+	})
+}
+
+// stepPushColumnarParallel is the sharded columnar push round: shards
+// are contiguous column ranges, so every phase is a flat loop over a
+// dense slice of the state arrays — the layout the sharded executor
+// was always shaped for. Determinism matches stepPushColumnar: picks
+// consume per-host PRNGs, and the destination worker drains source
+// outboxes in shard order, which over contiguous shards is ascending
+// emitter order.
+func (e *Engine) stepPushColumnarParallel(r int) {
+	p := e.par
+	// Liveness fill + begin phase. BeginRange reads only its own
+	// range of the bitmap, which the same closure just filled, so the
+	// two fuse without a barrier between them.
+	p.forShards(func(s, lo, hi int) {
+		rc := &p.colRounds[s]
+		rc.Round = r
+		rc.Alive = e.colAlive
+		p.contacts[s] = int64(e.fillAlive(r, lo, hi))
+		e.col.BeginRange(rc, lo, hi)
+	})
+	// Emit phase: kernels append to the shard's own column, then the
+	// same worker routes survivors by destination shard. Routing reads
+	// the full liveness bitmap (cross-shard), complete since the
+	// previous barrier; emission reads only start-of-round state.
+	p.forShards(func(s, lo, hi int) {
+		rc := &p.colRounds[s]
+		rc.Out = rc.Out[:0]
+		e.col.EmitRange(rc, lo, hi)
+		p.messages[s] = int64(len(rc.Out))
+		out := p.colOutbox[s]
+		alive := e.colAlive
+		for _, m := range rc.Out {
+			// Messages to dead hosts are lost silently, exactly as in
+			// the sequential loop.
+			if alive[m.To] {
+				d := p.shardOf(m.To)
+				out[d] = append(out[d], m)
+			}
+		}
+	})
+	for s := 0; s < p.workers; s++ {
+		e.contacts += p.contacts[s]
+		e.messages += p.messages[s]
+	}
+	// Deliver + end phase: the worker owning destination shard d
+	// drains source outboxes in shard order (= emitter order), then
+	// folds its own range's round state.
+	p.forShards(func(d, lo, hi int) {
+		rc := &p.colRounds[d]
+		for s := 0; s < p.workers; s++ {
+			box := p.colOutbox[s][d]
+			if len(box) > 0 {
+				e.col.Deliver(rc, box)
+			}
+			p.colOutbox[s][d] = box[:0]
+		}
+		e.col.EndRange(rc, lo, hi)
 	})
 }
 

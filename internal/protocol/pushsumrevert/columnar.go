@@ -1,0 +1,256 @@
+package pushsumrevert
+
+import (
+	"fmt"
+
+	"dynagg/internal/gossip"
+)
+
+// Columnar is the struct-of-arrays form of Push-Sum-Revert: one value
+// owns the whole population's mass vectors, reversion targets, and
+// Full-Transfer windows as dense columns (gossip.ColumnarAgent). All
+// push-model variants are supported — basic λ reversion, Adaptive
+// (indegree-scaled) reversion, and Full-Transfer — and each is
+// byte-identical to a population of *Node agents on the classic path.
+// PushPull configurations are rejected: the columnar engine is
+// push-only.
+type Columnar struct {
+	cfg Config
+
+	v0, w0, mv0 []float64
+	w, v        []float64
+	inW, inV    []float64
+	inMsgs      []int32
+
+	// Full-Transfer estimate windows, flattened host-major: host i's
+	// ring buffer is histW[i*Window : (i+1)*Window].
+	histW, histV     []float64
+	histPos, histLen []int32
+
+	est    []float64
+	hasEst []bool
+}
+
+var _ gossip.ColumnarAgent = (*Columnar)(nil)
+
+// NewColumnar returns the columnar population with data values vs,
+// all hosts sharing cfg.
+func NewColumnar(vs []float64, cfg Config) *Columnar {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.PushPull {
+		panic(fmt.Errorf("pushsumrevert: PushPull configurations have no columnar form (push-only engine)"))
+	}
+	n := len(vs)
+	w0 := cfg.Weight
+	if w0 == 0 {
+		w0 = 1
+	}
+	c := &Columnar{
+		cfg:    cfg,
+		v0:     append([]float64(nil), vs...),
+		w0:     make([]float64, n),
+		mv0:    make([]float64, n),
+		w:      make([]float64, n),
+		v:      make([]float64, n),
+		inW:    make([]float64, n),
+		inV:    make([]float64, n),
+		inMsgs: make([]int32, n),
+		est:    make([]float64, n),
+		hasEst: make([]bool, n),
+	}
+	if cfg.FullTransfer {
+		c.histW = make([]float64, n*cfg.Window)
+		c.histV = make([]float64, n*cfg.Window)
+		c.histPos = make([]int32, n)
+		c.histLen = make([]int32, n)
+	}
+	for i := 0; i < n; i++ {
+		c.w0[i] = w0
+		c.mv0[i] = w0 * vs[i]
+		c.w[i] = w0
+		c.v[i] = w0 * vs[i]
+		c.est[i] = vs[i]
+		c.hasEst[i] = true
+	}
+	return c
+}
+
+// Len implements gossip.ColumnarAgent.
+func (c *Columnar) Len() int { return len(c.w) }
+
+// Config returns the population's configuration.
+func (c *Columnar) Config() Config { return c.cfg }
+
+// Mass returns host id's current mass vector.
+func (c *Columnar) Mass(id gossip.NodeID) Mass { return Mass{W: c.w[id], V: c.v[id]} }
+
+// BeginRange implements gossip.ColumnarAgent.
+func (c *Columnar) BeginRange(rc *gossip.ColRound, lo, hi int) {
+	alive := rc.Alive
+	for i := lo; i < hi; i++ {
+		if alive[i] {
+			c.inW[i] = 0
+			c.inV[i] = 0
+			c.inMsgs[i] = 0
+		}
+	}
+}
+
+// EmitRange implements gossip.ColumnarAgent: the variant-specific
+// emissions of Node.Emit as one flat loop, same intra-host envelope
+// order.
+func (c *Columnar) EmitRange(rc *gossip.ColRound, lo, hi int) {
+	λ := c.cfg.Lambda
+	alive := rc.Alive
+	out := rc.Out
+	switch {
+	case c.cfg.FullTransfer:
+		N := c.cfg.Parcels
+		for i := lo; i < hi; i++ {
+			if !alive[i] {
+				continue
+			}
+			id := gossip.NodeID(i)
+			parcel := gossip.Mass{
+				W: ((1-λ)*c.w[i] + λ*c.w0[i]) / float64(N),
+				V: ((1-λ)*c.v[i] + λ*c.mv0[i]) / float64(N),
+			}
+			for j := 0; j < N; j++ {
+				if peer, ok := rc.Pick(id); ok {
+					out = append(out, gossip.ColMsg{To: peer, From: id, Mass: parcel})
+				} else {
+					// No reachable peer: this parcel stays home rather
+					// than evaporating.
+					out = append(out, gossip.ColMsg{To: id, From: id, Mass: parcel})
+				}
+			}
+		}
+	case c.cfg.Adaptive:
+		// Reversion is applied on receipt, scaled by indegree; the
+		// message itself is plain Push-Sum mass.
+		for i := lo; i < hi; i++ {
+			if !alive[i] {
+				continue
+			}
+			id := gossip.NodeID(i)
+			peer, ok := rc.Pick(id)
+			if !ok {
+				out = append(out, gossip.ColMsg{To: id, From: id, Mass: gossip.Mass{W: c.w[i], V: c.v[i]}})
+				continue
+			}
+			half := gossip.Mass{W: c.w[i] / 2, V: c.v[i] / 2}
+			out = append(out,
+				gossip.ColMsg{To: peer, From: id, Mass: half},
+				gossip.ColMsg{To: id, From: id, Mass: half},
+			)
+		}
+	default:
+		// Basic: the reverted mass is split between peer and self.
+		for i := lo; i < hi; i++ {
+			if !alive[i] {
+				continue
+			}
+			id := gossip.NodeID(i)
+			half := gossip.Mass{
+				W: ((1-λ)*c.w[i] + λ*c.w0[i]) / 2,
+				V: ((1-λ)*c.v[i] + λ*c.mv0[i]) / 2,
+			}
+			peer, ok := rc.Pick(id)
+			if !ok {
+				out = append(out, gossip.ColMsg{To: id, From: id,
+					Mass: gossip.Mass{W: 2 * half.W, V: 2 * half.V}})
+				continue
+			}
+			out = append(out,
+				gossip.ColMsg{To: peer, From: id, Mass: half},
+				gossip.ColMsg{To: id, From: id, Mass: half},
+			)
+		}
+	}
+	rc.Out = out
+}
+
+// Deliver implements gossip.ColumnarAgent: the variant-specific
+// receive fold of Node.Receive over the message column.
+func (c *Columnar) Deliver(rc *gossip.ColRound, msgs []gossip.ColMsg) {
+	if c.cfg.Adaptive {
+		// §III-A: add λ/2 of the initial mass per message received,
+		// damping the received mass by (1-λ).
+		λ := c.cfg.Lambda
+		for _, m := range msgs {
+			c.inW[m.To] += (1-λ)*m.Mass.W + (λ/2)*c.w0[m.To]
+			c.inV[m.To] += (1-λ)*m.Mass.V + (λ/2)*c.mv0[m.To]
+			c.inMsgs[m.To]++
+		}
+		return
+	}
+	for _, m := range msgs {
+		c.inW[m.To] += m.Mass.W
+		c.inV[m.To] += m.Mass.V
+		c.inMsgs[m.To]++
+	}
+}
+
+// EndRange implements gossip.ColumnarAgent.
+func (c *Columnar) EndRange(rc *gossip.ColRound, lo, hi int) {
+	alive := rc.Alive
+	if c.cfg.FullTransfer {
+		W := int32(c.cfg.Window)
+		for i := lo; i < hi; i++ {
+			if !alive[i] {
+				continue
+			}
+			// The host keeps only what arrived; rounds with no
+			// arrivals leave it empty-handed until the next delivery.
+			c.w[i] = c.inW[i]
+			c.v[i] = c.inV[i]
+			if c.inMsgs[i] > 0 && c.inW[i] > 0 {
+				base := int32(i) * W
+				pos := c.histPos[i]
+				c.histW[base+pos] = c.inW[i]
+				c.histV[base+pos] = c.inV[i]
+				c.histPos[i] = (pos + 1) % W
+				if c.histLen[i] < W {
+					c.histLen[i]++
+				}
+			}
+			c.refreshWindowEstimate(i)
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		if !alive[i] {
+			continue
+		}
+		c.w[i] = c.inW[i]
+		c.v[i] = c.inV[i]
+		c.refreshEstimate(i)
+	}
+}
+
+// Estimate implements gossip.ColumnarAgent.
+func (c *Columnar) Estimate(id gossip.NodeID) (float64, bool) {
+	return c.est[id], c.hasEst[id]
+}
+
+func (c *Columnar) refreshEstimate(i int) {
+	if c.w[i] > 1e-12 {
+		c.est[i] = c.v[i] / c.w[i]
+		c.hasEst[i] = true
+	}
+}
+
+func (c *Columnar) refreshWindowEstimate(i int) {
+	base := i * c.cfg.Window
+	var sw, sv float64
+	for j := 0; j < int(c.histLen[i]); j++ {
+		sw += c.histW[base+j]
+		sv += c.histV[base+j]
+	}
+	if sw > 1e-12 {
+		c.est[i] = sv / sw
+		c.hasEst[i] = true
+	}
+}

@@ -1,0 +1,231 @@
+package sketchreset
+
+import (
+	"math"
+
+	"dynagg/internal/gossip"
+	"dynagg/internal/sketch"
+)
+
+// Columnar is the struct-of-arrays form of Count-Sketch-Reset: the
+// whole population's m×L age matrices live in ONE flat []uint8 block
+// (host-major, bin-major within a host) instead of one heap slice per
+// host, and the round phases run as flat loops over it
+// (gossip.ColumnarAgent). Gossip messages carry no payload at all on
+// the columnar plane — Deliver min-merges the emitter's start-of-round
+// block (double-buffered in shadow) into the destination's block,
+// which is exactly what the classic path's snapshot payloads did, one
+// cache-hostile allocation at a time.
+//
+// Byte-identical to a population of *Node agents on the classic push
+// path: identifier placement, aging, cutoffs, and estimates all match.
+type Columnar struct {
+	cfg    Config
+	stride int // counters per host = Bins*Levels
+
+	// counters is the population age block; host i's matrix is
+	// counters[i*stride : (i+1)*stride].
+	counters []uint8
+	// shadow double-buffers the post-age state each round so merges
+	// read every emitter's start-of-round matrix regardless of
+	// delivery order.
+	shadow []uint8
+
+	// owned is the flattened list of indices each host sources, with
+	// host i's span at owned[ownedOff[i]:ownedOff[i+1]] (indices are
+	// host-relative).
+	owned    []int32
+	ownedOff []int32
+
+	cutoff []float64 // precomputed f(k) per level
+	est    []float64
+}
+
+var _ gossip.ColumnarAgent = (*Columnar)(nil)
+
+// NewColumnar returns the columnar population of n Count-Sketch-Reset
+// hosts, all sharing cfg. Identifier placement matches New exactly:
+// deterministic per (host id, identifier index).
+func NewColumnar(n int, cfg Config) *Columnar {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Cutoff == nil {
+		cfg.Cutoff = DefaultCutoff
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	p := cfg.Params
+	stride := p.Bins * p.Levels
+	c := &Columnar{
+		cfg:      cfg,
+		stride:   stride,
+		counters: make([]uint8, n*stride),
+		shadow:   make([]uint8, n*stride),
+		cutoff:   make([]float64, p.Levels),
+		ownedOff: make([]int32, n+1),
+		est:      make([]float64, n),
+	}
+	for i := range c.counters {
+		c.counters[i] = Never
+	}
+	for k := 0; k < p.Levels; k++ {
+		if cfg.NoDecay {
+			c.cutoff[k] = math.Inf(1)
+		} else {
+			c.cutoff[k] = cfg.Cutoff(k)
+		}
+	}
+	for id := 0; id < n; id++ {
+		base := id * stride
+		start := len(c.owned)
+		for j := 0; j < cfg.Identifiers; j++ {
+			pos := p.Place((uint64(id)+1)<<20 | uint64(j))
+			idx := int32(pos.Bin*p.Levels + pos.Level)
+			dup := false
+			for _, o := range c.owned[start:] {
+				if o == idx {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				c.owned = append(c.owned, idx)
+			}
+			c.counters[base+int(idx)] = 0
+		}
+		c.ownedOff[id+1] = int32(len(c.owned))
+		c.refreshEstimate(id)
+	}
+	return c
+}
+
+// Len implements gossip.ColumnarAgent.
+func (c *Columnar) Len() int { return len(c.est) }
+
+// Owned returns the number of distinct (bin, level) indices host id
+// sources.
+func (c *Columnar) Owned(id gossip.NodeID) int {
+	return int(c.ownedOff[id+1] - c.ownedOff[id])
+}
+
+// CounterAt returns host id's age counter at (bin, level).
+func (c *Columnar) CounterAt(id gossip.NodeID, bin, level int) uint8 {
+	return c.counters[int(id)*c.stride+bin*c.cfg.Params.Levels+level]
+}
+
+// BeginRange implements gossip.ColumnarAgent: age every counter each
+// live host does not source (Figure 5 step 2), pinning owned indices
+// back to zero.
+func (c *Columnar) BeginRange(rc *gossip.ColRound, lo, hi int) {
+	alive := rc.Alive
+	for i := lo; i < hi; i++ {
+		if !alive[i] {
+			continue
+		}
+		block := c.counters[i*c.stride : (i+1)*c.stride]
+		for j, v := range block {
+			if v < MaxAge {
+				block[j] = v + 1
+			}
+		}
+		for _, idx := range c.owned[c.ownedOff[i]:c.ownedOff[i+1]] {
+			block[idx] = 0
+		}
+	}
+}
+
+// EmitRange implements gossip.ColumnarAgent: snapshot each live
+// host's aged matrix into the shadow block (the columnar form of the
+// classic path's per-message snapshot payload), then address one
+// payload-free message to a random peer. Isolated hosts emit nothing,
+// as in Node.Emit.
+func (c *Columnar) EmitRange(rc *gossip.ColRound, lo, hi int) {
+	alive := rc.Alive
+	out := rc.Out
+	for i := lo; i < hi; i++ {
+		if !alive[i] {
+			continue
+		}
+		id := gossip.NodeID(i)
+		peer, ok := rc.Pick(id)
+		if !ok {
+			continue
+		}
+		copy(c.shadow[i*c.stride:(i+1)*c.stride], c.counters[i*c.stride:(i+1)*c.stride])
+		out = append(out, gossip.ColMsg{To: peer, From: id})
+	}
+	rc.Out = out
+}
+
+// Deliver implements gossip.ColumnarAgent: element-wise min of the
+// emitter's shadow block into the destination's live block (Figure 5
+// step 5). The destination's owned indices were pinned to zero in
+// BeginRange and a min can never raise them, so no re-pin is needed —
+// the result is bit-for-bit what Node.minMerge produces.
+func (c *Columnar) Deliver(rc *gossip.ColRound, msgs []gossip.ColMsg) {
+	for _, m := range msgs {
+		dst := c.counters[int(m.To)*c.stride : (int(m.To)+1)*c.stride]
+		src := c.shadow[int(m.From)*c.stride : (int(m.From)+1)*c.stride]
+		for j, v := range src {
+			if v < dst[j] {
+				dst[j] = v
+			}
+		}
+	}
+}
+
+// EndRange implements gossip.ColumnarAgent (Figure 5 steps 6-7).
+func (c *Columnar) EndRange(rc *gossip.ColRound, lo, hi int) {
+	alive := rc.Alive
+	for i := lo; i < hi; i++ {
+		if alive[i] {
+			c.refreshEstimate(i)
+		}
+	}
+}
+
+// Estimate implements gossip.ColumnarAgent. Like the classic node, a
+// Count-Sketch-Reset host always has an estimate (possibly 0 before
+// any bit is heard).
+func (c *Columnar) Estimate(id gossip.NodeID) (float64, bool) {
+	return c.est[id], true
+}
+
+// BitSet reports whether host id's derived bit at (bin, level) is
+// currently considered set (age within cutoff).
+func (c *Columnar) BitSet(id gossip.NodeID, bin, level int) bool {
+	v := c.CounterAt(id, bin, level)
+	return v != Never && float64(v) <= c.cutoff[level]
+}
+
+// refreshEstimate derives the bit array, applies Flajolet-Martin's R
+// per bin, and estimates m·2^avg(R)/ϕ — the same arithmetic, in the
+// same order, as Node.refreshEstimate.
+func (c *Columnar) refreshEstimate(i int) {
+	p := c.cfg.Params
+	block := c.counters[i*c.stride : (i+1)*c.stride]
+	any := false
+	var sumR int
+	for bin := 0; bin < p.Bins; bin++ {
+		base := bin * p.Levels
+		r := 0
+		for k := 0; k < p.Levels; k++ {
+			v := block[base+k]
+			if v != Never && float64(v) <= c.cutoff[k] {
+				r++
+				any = true
+			} else {
+				break
+			}
+		}
+		sumR += r
+	}
+	if !any {
+		c.est[i] = 0
+		return
+	}
+	avgR := float64(sumR) / float64(p.Bins)
+	c.est[i] = float64(p.Bins) * math.Exp2(avgR) / sketch.Phi / c.cfg.Scale
+}

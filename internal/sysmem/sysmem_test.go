@@ -1,0 +1,29 @@
+package sysmem
+
+import "testing"
+
+func TestPeakRSSBytesPositive(t *testing.T) {
+	got := PeakRSSBytes()
+	if got <= 0 {
+		t.Fatalf("PeakRSSBytes() = %d, want > 0", got)
+	}
+	// A Go test process touches at least a megabyte; anything lower
+	// means the parser picked up the wrong field or unit.
+	if got < 1<<20 {
+		t.Errorf("PeakRSSBytes() = %d, implausibly small for a live process", got)
+	}
+}
+
+func TestPeakRSSMonotonic(t *testing.T) {
+	before := PeakRSSBytes()
+	// Touch a chunk of memory; the high-water mark must not decrease.
+	buf := make([]byte, 8<<20)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	after := PeakRSSBytes()
+	if after < before {
+		t.Errorf("peak RSS decreased: %d -> %d", before, after)
+	}
+	_ = buf[len(buf)-1]
+}

@@ -80,22 +80,39 @@ func (r *Rand) Uint64() uint64 {
 }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
-// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+//
+// Uses Lemire's nearly-divisionless multiply-shift reduction: the
+// high word of a 32×32 multiply is the draw, and the biased region at
+// the bottom of the low word is rejected. The rejection threshold
+// (2³² mod n) costs a hardware divide, so it is computed lazily, only
+// when the low word falls below n — which happens with probability
+// n/2³², so the hot path (a million peer picks per round at
+// simulation scale) is multiply-shift-compare with no division at
+// all. The lazy form accepts and rejects exactly the same draws as
+// the eager one, so the output stream is unchanged
+// (TestIntnMatchesEagerLemire pins this).
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
 		panic("xrand: Intn called with n <= 0")
 	}
+	if uint64(n) > 1<<32-1 {
+		// A 32-bit draw cannot cover the range; refuse loudly rather
+		// than truncate the bound (or, for exact multiples of 2³²,
+		// degenerate into a constant 0).
+		panic("xrand: Intn bound exceeds 32 bits")
+	}
 	bound := uint32(n)
-	// Lemire: multiply a 32-bit random by n, take the high word; reject
-	// the small biased region at the bottom of the low word.
-	threshold := -bound % bound
-	for {
-		v := r.Uint32()
-		prod := uint64(v) * uint64(bound)
-		if uint32(prod) >= threshold {
-			return int(prod >> 32)
+	prod := uint64(r.Uint32()) * uint64(bound)
+	if low := uint32(prod); low < bound {
+		// threshold = 2³² mod bound < bound, so low ≥ bound always
+		// passes and never needed the divide.
+		threshold := -bound % bound
+		for low < threshold {
+			prod = uint64(r.Uint32()) * uint64(bound)
+			low = uint32(prod)
 		}
 	}
+	return int(prod >> 32)
 }
 
 // Int63 returns a uniform non-negative int64.

@@ -90,6 +90,79 @@ func TestIntnPanicsOnNonPositive(t *testing.T) {
 	New(1).Intn(0)
 }
 
+func TestIntnPanicsBeyond32Bits(t *testing.T) {
+	if uint64(^uint(0)) <= 1<<32-1 {
+		t.Skip("32-bit int platform: oversized bounds unrepresentable")
+	}
+	// 1<<32 wraps uint32(n) to 0: the eager form panicked on the
+	// threshold divide, and the lazy form must stay loud rather than
+	// returning a constant 0.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(1<<32) did not panic")
+		}
+	}()
+	New(1).Intn(1 << 32)
+}
+
+// eagerLemireIntn is the reference bounded draw Intn replaced: the
+// same multiply-shift rejection, with the threshold divide paid
+// eagerly on every call. The lazy implementation must accept and
+// reject exactly the same Uint32 draws, so the two produce identical
+// value streams from identical generator states.
+func eagerLemireIntn(r *Rand, n int) int {
+	bound := uint32(n)
+	threshold := -bound % bound
+	for {
+		v := r.Uint32()
+		prod := uint64(v) * uint64(bound)
+		if uint32(prod) >= threshold {
+			return int(prod >> 32)
+		}
+	}
+}
+
+// TestIntnMatchesEagerLemire pins the nearly-divisionless Intn to the
+// eager reference draw-for-draw across awkward bounds (powers of two,
+// off-by-one neighbours, primes, and bounds large enough to make
+// rejection common), guaranteeing that the optimization moved no
+// golden value anywhere in the simulator.
+func TestIntnMatchesEagerLemire(t *testing.T) {
+	bounds := []int{1, 2, 3, 7, 10, 16, 17, 97, 1000, 4096, 1 << 20,
+		1<<31 - 1, 3<<29 + 11}
+	for _, n := range bounds {
+		a := New(42)
+		b := New(42)
+		for i := 0; i < 2000; i++ {
+			got, want := a.Intn(n), eagerLemireIntn(b, n)
+			if got != want {
+				t.Fatalf("Intn(%d) draw %d: got %d, reference %d", n, i, got, want)
+			}
+			if a.state != b.state {
+				t.Fatalf("Intn(%d) draw %d: generator states diverged", n, i)
+			}
+		}
+	}
+}
+
+// TestIntnGolden pins absolute values of the bounded draw, so any
+// future change to the reduction (or to the underlying PCG stream)
+// that would silently invalidate recorded experiment output fails
+// loudly here.
+func TestIntnGolden(t *testing.T) {
+	r := New(1)
+	got := make([]int, 12)
+	for i := range got {
+		got[i] = r.Intn(100000)
+	}
+	want := []int{38048, 84187, 69173, 77767, 24074, 92061, 39646, 38957, 38461, 38466, 51196, 33884}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Intn(100000) sequence diverged at %d: got %v, want %v", i, got, want)
+		}
+	}
+}
+
 func TestIntnUniformity(t *testing.T) {
 	r := New(11)
 	const n = 10
