@@ -38,11 +38,13 @@ bench-json:
 
 # Million-host engine benchmark: the N=1,000,000 BenchmarkEngine
 # configurations (classic AoS baseline plus columnar sequential and
-# sharded), one iteration each, peak RSS recorded via the
-# peak-rss-bytes metric. Kept out of the smoke lanes by -short above;
-# run deliberately (CI bench job, perf investigations). When a
-# bench-json snapshot exists the 1M rows are merged into
-# BENCH_results.json so one artifact carries the whole trajectory.
+# sharded, under BOTH gossip models — the push-pull rows exercise the
+# pair-batch wave executor), one iteration each, peak RSS and
+# msgs/round recorded via report metrics. Kept out of the smoke lanes
+# by -short above; run deliberately (CI bench job, perf
+# investigations). When a bench-json snapshot exists the 1M rows are
+# merged into BENCH_results.json so one artifact carries the whole
+# trajectory.
 bench-1m:
 	$(GO) test -bench='BenchmarkEngine/n=1000000' -benchmem -benchtime=1x -run='^$$' -timeout=30m ./internal/gossip > BENCH_1M_raw.txt || { cat BENCH_1M_raw.txt >&2; exit 1; }
 	@cat BENCH_1M_raw.txt
@@ -56,9 +58,14 @@ bench-1m:
 # drivers, UDP readers, loss injection) twice under the race detector
 # with a generous timeout, in their own CI lane so `make ci` stays
 # fast. (internal/wire is single-threaded; its tests already run under
-# race in `make ci` and its decoders get fuzz-smoke below.)
+# race in `make ci` and its decoders get fuzz-smoke below.) The second
+# line soaks the columnar parity suite — all 9 protocols × push/
+# push-pull × workers 0/1/4, engine- and driver-level — under race,
+# since the sharded columnar executors are the other concurrency-heavy
+# surface.
 live-soak:
 	$(GO) test -race -count=2 -timeout 15m -run 'Live|Transport' ./internal/gossip/live/...
+	$(GO) test -race -count=2 -timeout 15m -run 'Columnar' ./internal/gossip ./internal/experiments
 
 # Native Go fuzzing smoke pass: 10 seconds per wire decoder, enough to
 # shake out the easy crashes on every push (a socket feeds these

@@ -112,6 +112,54 @@ BenchmarkRoundPush-4   100   1407760 ns/op   0 B/op   0 allocs/op
 	}
 }
 
+// TestParsePushPullRows pins the push-pull benchmark rows `make
+// bench-1m` merges into BENCH_results.json: the "push-pull" model
+// segment contains a dash, so the -GOMAXPROCS splitter must not eat it
+// (with or without the procs suffix), and the rows must round-trip
+// through the JSON document intact.
+func TestParsePushPullRows(t *testing.T) {
+	const text = `pkg: dynagg/internal/gossip
+BenchmarkEngine/n=1000000/push-pull/pushsum-aos/workers=0-4   1   125757390 ns/op   177422336 peak-rss-bytes   0 B/op   0 allocs/op
+BenchmarkEngine/n=1000000/push-pull/pushsum-columnar/workers=0   1   56480978 ns/op   177438720 peak-rss-bytes   0 B/op   0 allocs/op
+`
+	doc, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	aos := doc.Benchmarks[0]
+	if aos.Name != "BenchmarkEngine/n=1000000/push-pull/pushsum-aos/workers=0" || aos.Procs != 4 {
+		t.Errorf("aos row name/procs = %q/%d", aos.Name, aos.Procs)
+	}
+	col := doc.Benchmarks[1]
+	if col.Name != "BenchmarkEngine/n=1000000/push-pull/pushsum-columnar/workers=0" || col.Procs != 1 {
+		t.Errorf("columnar row name/procs = %q/%d (the push-pull dash must survive)", col.Name, col.Procs)
+	}
+	if col.Metrics["ns/op"] != 56480978 || col.PeakRSSBytes != 177438720 {
+		t.Errorf("columnar row metrics = %+v", col)
+	}
+	// Round-trip: marshal the document and re-decode; the rows must
+	// come back identical.
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Doc
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != 2 {
+		t.Fatalf("round-trip lost rows: %d", len(back.Benchmarks))
+	}
+	got := back.Benchmarks[1]
+	if got.Name != col.Name || got.PeakRSSBytes != col.PeakRSSBytes ||
+		got.Metrics["ns/op"] != col.Metrics["ns/op"] || got.Metrics["allocs/op"] != col.Metrics["allocs/op"] {
+		t.Errorf("round-tripped row = %+v, want %+v", got, col)
+	}
+}
+
 func TestParseIgnoresNonResultLines(t *testing.T) {
 	doc, err := Parse(strings.NewReader("PASS\nok  \tdynagg\t0.1s\nBenchmarkOnlyName\n"))
 	if err != nil {

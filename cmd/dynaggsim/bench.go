@@ -7,8 +7,11 @@ import (
 
 	"dynagg/internal/env"
 	"dynagg/internal/gossip"
+	"dynagg/internal/protocol/extremes"
+	"dynagg/internal/protocol/moments"
 	"dynagg/internal/protocol/pushsum"
 	"dynagg/internal/protocol/pushsumrevert"
+	"dynagg/internal/protocol/sketchcount"
 	"dynagg/internal/protocol/sketchreset"
 	"dynagg/internal/sketch"
 	"dynagg/internal/stats"
@@ -18,6 +21,7 @@ import (
 // benchOpts parametrizes the raw engine benchmark mode.
 type benchOpts struct {
 	protocol string
+	model    string // push | pushpull
 	n        int
 	rounds   int
 	workers  int
@@ -31,12 +35,77 @@ type benchOpts struct {
 // paper's 64×24 (2 × 1.5 GB).
 var benchSketchParams = sketch.Params{Bins: 8, Levels: 16}
 
-// runEngineBench is the `dynaggsim bench` mode: raw push rounds of
+// benchBuild assembles the protocol under test on the requested
+// execution path and gossip model.
+func benchBuild(o benchOpts, model gossip.Model, values []float64) (gossip.Config, error) {
+	cfg := gossip.Config{
+		Env:     env.NewUniform(o.n),
+		Model:   model,
+		Seed:    o.seed,
+		Workers: o.workers,
+	}
+	pushPull := model == gossip.PushPull
+	agents := func(mk func(i int) gossip.Agent) {
+		as := make([]gossip.Agent, o.n)
+		for i := range as {
+			as[i] = mk(i)
+		}
+		cfg.Agents = as
+	}
+	switch o.protocol {
+	case "pushsum":
+		if o.columnar {
+			cfg.Columnar = pushsum.NewColumnarAverage(values)
+		} else {
+			agents(func(i int) gossip.Agent { return pushsum.NewAverage(gossip.NodeID(i), values[i]) })
+		}
+	case "revert":
+		rcfg := pushsumrevert.Config{Lambda: 0.01, PushPull: pushPull}
+		if o.columnar {
+			cfg.Columnar = pushsumrevert.NewColumnar(values, rcfg)
+		} else {
+			agents(func(i int) gossip.Agent { return pushsumrevert.New(gossip.NodeID(i), values[i], rcfg) })
+		}
+	case "sketchreset":
+		scfg := sketchreset.Config{Params: benchSketchParams, Identifiers: 1}
+		if o.columnar {
+			cfg.Columnar = sketchreset.NewColumnar(o.n, scfg)
+		} else {
+			agents(func(i int) gossip.Agent { return sketchreset.New(gossip.NodeID(i), scfg) })
+		}
+	case "sketchcount":
+		if o.columnar {
+			cfg.Columnar = sketchcount.NewColumnarCount(o.n, benchSketchParams)
+		} else {
+			agents(func(i int) gossip.Agent { return sketchcount.NewCount(gossip.NodeID(i), benchSketchParams) })
+		}
+	case "extremes":
+		ecfg := extremes.Config{Mode: extremes.Max}
+		if o.columnar {
+			cfg.Columnar = extremes.NewColumnar(values, ecfg)
+		} else {
+			agents(func(i int) gossip.Agent { return extremes.New(gossip.NodeID(i), values[i], ecfg) })
+		}
+	case "moments":
+		mcfg := moments.Config{Lambda: 0.01, PushPull: pushPull}
+		if o.columnar {
+			cfg.Columnar = moments.NewColumnar(values, mcfg)
+		} else {
+			agents(func(i int) gossip.Agent { return moments.New(gossip.NodeID(i), values[i], mcfg) })
+		}
+	default:
+		return cfg, fmt.Errorf("bench: unknown -protocol %q (pushsum, revert, sketchreset, sketchcount, extremes, moments)", o.protocol)
+	}
+	return cfg, nil
+}
+
+// runEngineBench is the `dynaggsim bench` mode: raw gossip rounds of
 // one protocol at a configurable population — by default the
-// ROADMAP's N=1,000,000 — on either execution path, reporting
-// ns/round, messages/round, and peak RSS. This is the reproducible
-// form of the profile that motivated the columnar engine; combine
-// with -cpuprofile/-memprofile to regenerate it.
+// ROADMAP's N=1,000,000 — on either execution path and either gossip
+// model (-model=push|pushpull), reporting ns/round, messages/round,
+// and peak RSS. This is the reproducible form of the profile that
+// motivated the columnar engine; combine with
+// -cpuprofile/-memprofile to regenerate it.
 func runEngineBench(out io.Writer, o benchOpts) error {
 	if o.n <= 0 {
 		o.n = 1000000
@@ -44,65 +113,37 @@ func runEngineBench(out io.Writer, o benchOpts) error {
 	if o.rounds <= 0 {
 		o.rounds = 10
 	}
+	var model gossip.Model
+	switch o.model {
+	case "", "push":
+		model = gossip.Push
+	case "pushpull":
+		model = gossip.PushPull
+	default:
+		return fmt.Errorf("bench: unknown -model %q (push, pushpull)", o.model)
+	}
 	values := make([]float64, o.n)
 	for i := range values {
 		values[i] = float64(i % 101)
 	}
-	cfg := gossip.Config{
-		Env:     env.NewUniform(o.n),
-		Model:   gossip.Push,
-		Seed:    o.seed,
-		Workers: o.workers,
-	}
-	switch o.protocol {
-	case "pushsum":
-		if o.columnar {
-			cfg.Columnar = pushsum.NewColumnarAverage(values)
-		} else {
-			agents := make([]gossip.Agent, o.n)
-			for i := range agents {
-				agents[i] = pushsum.NewAverage(gossip.NodeID(i), values[i])
-			}
-			cfg.Agents = agents
-		}
-	case "revert":
-		rcfg := pushsumrevert.Config{Lambda: 0.01}
-		if o.columnar {
-			cfg.Columnar = pushsumrevert.NewColumnar(values, rcfg)
-		} else {
-			agents := make([]gossip.Agent, o.n)
-			for i := range agents {
-				agents[i] = pushsumrevert.New(gossip.NodeID(i), values[i], rcfg)
-			}
-			cfg.Agents = agents
-		}
-	case "sketchreset":
-		scfg := sketchreset.Config{Params: benchSketchParams, Identifiers: 1}
-		if o.columnar {
-			cfg.Columnar = sketchreset.NewColumnar(o.n, scfg)
-		} else {
-			agents := make([]gossip.Agent, o.n)
-			for i := range agents {
-				agents[i] = sketchreset.New(gossip.NodeID(i), scfg)
-			}
-			cfg.Agents = agents
-		}
-	default:
-		return fmt.Errorf("bench: unknown -protocol %q (pushsum, revert, sketchreset)", o.protocol)
+	cfg, err := benchBuild(o, model, values)
+	if err != nil {
+		return err
 	}
 
 	path := "aos"
 	if o.columnar {
 		path = "columnar"
 	}
-	fmt.Fprintf(out, "# engine bench: %s/%s n=%d workers=%d rounds=%d seed=%d\n",
-		o.protocol, path, o.n, o.workers, o.rounds, o.seed)
+	fmt.Fprintf(out, "# engine bench: %s/%s/%s n=%d workers=%d rounds=%d seed=%d\n",
+		o.protocol, model, path, o.n, o.workers, o.rounds, o.seed)
 
 	engine, err := gossip.NewEngine(cfg)
 	if err != nil {
 		return err
 	}
-	// Warm-up: emission columns, arena, and outboxes grow to capacity.
+	// Warm-up: emission columns, arena, outboxes, and wave storage grow
+	// to capacity.
 	engine.Run(2)
 
 	start := time.Now()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"dynagg/internal/env"
@@ -24,6 +25,7 @@ type liveOpts struct {
 	protocol  string // pushsum | revert | sketchreset
 	transport string // chan | udp
 	loss      float64
+	wan       string // canned WAN preset name, or ""
 	groups    int
 	pace      time.Duration
 	n         int
@@ -98,7 +100,20 @@ func runLive(out io.Writer, o liveOpts) error {
 	default:
 		return fmt.Errorf("live: unknown -transport %q (chan, udp)", o.transport)
 	}
-	if o.loss > 0 {
+	injectedLoss := o.loss
+	switch {
+	case o.wan != "" && o.loss > 0:
+		return fmt.Errorf("live: -wan and -loss are mutually exclusive (the preset already sets a loss rate)")
+	case o.wan != "":
+		p, ok := transport.ProfileByName(o.wan)
+		if !ok {
+			return fmt.Errorf("live: unknown -wan preset %q (%s)", o.wan, strings.Join(transport.ProfileNames(), ", "))
+		}
+		injectedLoss = p.Loss
+		lt := p.Wrap(tr, o.seed+1)
+		defer lt.Close()
+		tr = lt
+	case o.loss > 0:
 		lt := &transport.Lossy{T: tr, P: o.loss, Seed: o.seed + 1}
 		defer lt.Close()
 		tr = lt
@@ -129,8 +144,11 @@ func runLive(out io.Writer, o liveOpts) error {
 	if name == "" {
 		name = "chan"
 	}
+	if o.wan != "" {
+		name += "+" + o.wan
+	}
 	fmt.Fprintf(out, "live %s over %s: n=%d ticks=%d loss=%.2f pace=%v workers=%d\n",
-		o.protocol, name, o.n, o.ticks, o.loss, o.pace, o.workers)
+		o.protocol, name, o.n, o.ticks, injectedLoss, o.pace, o.workers)
 	fmt.Fprintf(out, "mean estimate %.4f  truth %.4f  rel.err %.2f%%\n",
 		mean, truth, 100*relErr(mean, truth))
 	fmt.Fprintf(out, "sent %d  dropped %d  elapsed %v\n", e.Sent(), e.Dropped(), elapsed.Round(time.Millisecond))

@@ -26,16 +26,19 @@
 //
 //	live   run a protocol on the live engine (-protocol pushsum|
 //	       revert|sketchreset) over a transport (-transport chan|udp)
-//	       with optional injected loss (-loss 0.2), UDP socket count
-//	       (-udp-groups 4), wall-clock duty cycle (-pace 4ms), and
-//	       tick count (-ticks 60)
+//	       with optional injected loss (-loss 0.2) or a canned WAN
+//	       preset (-wan lan|3g|sat: loss+delay+jitter à la netem),
+//	       UDP socket count (-udp-groups 4), wall-clock duty cycle
+//	       (-pace 4ms), and tick count (-ticks 60)
 //
 // Engine benchmark (the ROADMAP's million-host target):
 //
-//	bench  raw push rounds of one protocol (-protocol pushsum|revert|
-//	       sketchreset) at -n hosts (default 1,000,000), on the classic
-//	       or, with -columnar, the struct-of-arrays engine path;
-//	       reports ns/round, msgs/round, and peak RSS
+//	bench  raw gossip rounds of one protocol (-protocol pushsum|
+//	       revert|sketchreset|sketchcount|extremes|moments) under one
+//	       model (-model push|pushpull) at -n hosts (default
+//	       1,000,000), on the classic or, with -columnar, the
+//	       struct-of-arrays engine path; reports ns/round, msgs/round,
+//	       and peak RSS
 //
 // Trace tooling:
 //
@@ -58,10 +61,10 @@
 //	            extremes/mobility); the fixed-size drivers (fig6,
 //	            fig11*, ablation-bins/overlay/gridcutoff/bandwidth)
 //	            always run sequentially
-//	-columnar   run the struct-of-arrays engine path where the
-//	            protocol supports it (push-model Push-Sum,
-//	            Push-Sum-Revert, Count-Sketch-Reset); byte-identical
-//	            results, measured ~3x faster at N=1M
+//	-columnar   run the struct-of-arrays engine path (every protocol,
+//	            both gossip models — push/pull runs the pair-batch
+//	            wave executor); byte-identical results, measured ~3x
+//	            faster at N=1M
 //	-cpuprofile FILE  write a CPU profile of the run
 //	-memprofile FILE  write an end-of-run heap profile
 //	-dataset D  trace dataset 1-3 (fig11 experiments; default 1)
@@ -102,7 +105,7 @@ func run(args []string) error {
 	rounds := fs.Int("rounds", 0, "override round count")
 	seed := fs.Uint64("seed", 1, "PRNG seed")
 	workers := fs.Int("workers", 0, "engine worker pool for Scale-driven experiments: 0 sequential, -1 all CPUs, k>0 exactly k workers (same results at any setting; fig6/fig11/bins/overlay/gridcutoff/bandwidth run sequentially regardless)")
-	columnar := fs.Bool("columnar", false, "run the struct-of-arrays engine path where the protocol supports it (push-model Push-Sum, Push-Sum-Revert, Count-Sketch-Reset; byte-identical results, flat-loop speed)")
+	columnar := fs.Bool("columnar", false, "run the struct-of-arrays engine path (every protocol, both gossip models; byte-identical results, flat-loop speed)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	dataset := fs.Int("dataset", 1, "trace dataset 1-3")
@@ -110,9 +113,11 @@ func run(args []string) error {
 	outPath := fs.String("o", "", "write output to file instead of stdout")
 	inPath := fs.String("in", "", "input trace file (trace-info)")
 	contacts := fs.Bool("contacts", false, "parse -in as a CRAWDAD contact table")
-	protocol := fs.String("protocol", "pushsum", "live protocol: pushsum, revert, sketchreset")
+	protocol := fs.String("protocol", "pushsum", "protocol for bench/live modes (bench: pushsum, revert, sketchreset, sketchcount, extremes, moments; live: pushsum, revert, sketchreset)")
+	benchModel := fs.String("model", "push", "bench gossip model: push or pushpull")
 	transportName := fs.String("transport", "chan", "live transport: chan (in-process channels) or udp (wire-encoded loopback datagrams)")
 	loss := fs.Float64("loss", 0, "live per-message drop probability injected over the transport")
+	wan := fs.String("wan", "", "live canned WAN preset layered over the transport: lan, 3g, or sat (loss+delay+jitter; mutually exclusive with -loss)")
 	groups := fs.Int("udp-groups", 4, "live UDP transport: host groups (= sockets)")
 	pace := fs.Duration("pace", 0, "live tick duty cycle; 0 = free-running (sketchreset defaults to 4ms)")
 	ticks := fs.Int("ticks", 0, "live ticks per host (default 60)")
@@ -187,13 +192,13 @@ func run(args []string) error {
 		return traceInfo(out, *inPath, *contacts)
 	case "bench":
 		return runEngineBench(out, benchOpts{
-			protocol: *protocol, n: *n, rounds: *rounds,
+			protocol: *protocol, model: *benchModel, n: *n, rounds: *rounds,
 			workers: sc.Workers, columnar: *columnar, seed: *seed,
 		})
 	case "live":
 		return runLive(out, liveOpts{
 			protocol: *protocol, transport: *transportName, loss: *loss,
-			groups: *groups, pace: *pace, n: *n, ticks: *ticks,
+			wan: *wan, groups: *groups, pace: *pace, n: *n, ticks: *ticks,
 			workers: sc.Workers, seed: *seed,
 		})
 	}
@@ -378,11 +383,13 @@ experiments: fig6 fig8 fig9 fig10a fig10b fig11avg fig11sum
              ablation-epoch ablation-overlay ablation-moments
              ablation-extremes ablation-gridcutoff ablation-bandwidth
              ablation-mobility all
-engine bench: bench [-protocol pushsum|revert|sketchreset] [-columnar]
+engine bench: bench [-protocol pushsum|revert|sketchreset|sketchcount|extremes|moments]
+             [-model push|pushpull] [-columnar]
              [-n N (default 1,000,000)] [-rounds R] [-workers W] [-seed S]
 live engine: live [-protocol pushsum|revert|sketchreset]
-             [-transport chan|udp] [-loss P] [-udp-groups G]
-             [-pace DUR] [-ticks T] [-n N] [-workers W] [-seed S]
+             [-transport chan|udp] [-loss P | -wan lan|3g|sat]
+             [-udp-groups G] [-pace DUR] [-ticks T] [-n N]
+             [-workers W] [-seed S]
 trace tools: trace-gen [-dataset D] [-o FILE]
              trace-info -in FILE [-contacts]`)
 }

@@ -35,7 +35,7 @@ func AblationPushPull(sc Scale) Result {
 			Workers:    sc.Workers,
 			AfterRound: []gossip.Hook{metrics.DeviationHook(&series, truth.Average)},
 		}
-		if sc.Columnar && model == gossip.Push {
+		if sc.Columnar {
 			engineCfg.Columnar = pushsum.NewColumnarAverage(values)
 		} else {
 			agents := make([]gossip.Agent, sc.N)
@@ -165,17 +165,23 @@ func AblationEpoch(sc Scale) Result {
 		values := uniformValues(sc.N, sc.Seed+7)
 		environment := env.NewUniform(sc.N)
 		truth := metrics.NewTruth(values, environment.Population)
-		agents := make([]gossip.Agent, sc.N)
-		for i := range agents {
-			agents[i] = epoch.New(gossip.NodeID(i), values[i], epoch.Config{Length: length})
-		}
 		series := stats.Series{Label: fmt.Sprintf("epoch len %d", length)}
-		engine, err := gossip.NewEngine(gossip.Config{
-			Env: environment, Agents: agents, Model: gossip.Push, Seed: sc.Seed,
+		engineCfg := gossip.Config{
+			Env: environment, Model: gossip.Push, Seed: sc.Seed,
 			Workers:     sc.Workers,
 			BeforeRound: []gossip.Hook{failure.TopValuedAt(sc.FailAt, 0.5, environment.Population, values)},
 			AfterRound:  []gossip.Hook{metrics.DeviationHook(&series, truth.Average)},
-		})
+		}
+		if sc.Columnar {
+			engineCfg.Columnar = epoch.NewColumnar(values, epoch.Config{Length: length})
+		} else {
+			agents := make([]gossip.Agent, sc.N)
+			for i := range agents {
+				agents[i] = epoch.New(gossip.NodeID(i), values[i], epoch.Config{Length: length})
+			}
+			engineCfg.Agents = agents
+		}
+		engine, err := gossip.NewEngine(engineCfg)
 		if err != nil {
 			panic(err)
 		}

@@ -5,18 +5,25 @@ import (
 	"testing"
 )
 
-// TestScaleColumnarMatchesClassic pins the Scale.Columnar flag: the
-// push-model drivers with converted protocols must produce bitwise
-// the same series on the struct-of-arrays path as on the classic
-// agent path. (Push/pull drivers ignore the flag by contract.)
+// TestScaleColumnarMatchesClassic pins the Scale.Columnar flag across
+// the whole driver surface — push and push/pull models alike: every
+// Scale-driven figure and ablation driver must produce bitwise the
+// same series on the struct-of-arrays path as on the classic agent
+// path.
 func TestScaleColumnarMatchesClassic(t *testing.T) {
 	sc := Scale{N: 400, Rounds: 12, FailAt: 5, Seed: 3}
 	colSc := sc
 	colSc.Columnar = true
 	drivers := map[string]func(Scale) Result{
+		"fig8":              Fig8,   // push/pull, uncorrelated failures
+		"fig9":              Fig9,   // push/pull Count-Sketch-Reset
+		"fig10a":            Fig10a, // push/pull, correlated failures
 		"fig10b":            Fig10b, // Full-Transfer, push model
 		"ablation-adaptive": AblationAdaptive,
-		"ablation-pushpull": AblationPushPull, // push leg columnar, pull leg classic
+		"ablation-pushpull": AblationPushPull, // both legs columnar
+		"ablation-epoch":    AblationEpoch,
+		"ablation-moments":  AblationMoments,
+		"ablation-extremes": AblationExtremes,
 	}
 	for name, driver := range drivers {
 		t.Run(name, func(t *testing.T) {

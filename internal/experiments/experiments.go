@@ -110,11 +110,11 @@ type Scale struct {
 	// results either way; see gossip.Config.Workers).
 	Workers int
 	// Columnar selects the struct-of-arrays execution path
-	// (gossip.Config.Columnar) for the push-model drivers whose
-	// protocol has a columnar form (Push-Sum, Push-Sum-Revert,
-	// Count-Sketch-Reset) — byte-identical results, flat-loop speed.
-	// Push/pull drivers and unconverted protocols ignore the flag and
-	// keep running classic agents.
+	// (gossip.Config.Columnar) — byte-identical results, flat-loop
+	// speed. Every protocol has a columnar form and both gossip models
+	// run on the columnar engine (push/pull through the pair-batch
+	// ColExchanger executor), so all Scale-driven figure and ablation
+	// drivers honor the flag.
 	Columnar bool
 }
 

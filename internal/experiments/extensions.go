@@ -14,6 +14,28 @@ import (
 	"dynagg/internal/stats"
 )
 
+// meanAbsErrorHook appends, each round, the live-population mean of
+// |estimate − truth()|. Estimates are read through Engine.EstimateOf,
+// which gates on liveness and works identically on the classic and
+// columnar execution paths, so drivers built on it honor
+// Scale.Columnar without path-specific metric code.
+func meanAbsErrorHook(series *stats.Series, n int, truth func() float64) gossip.Hook {
+	return func(round int, e *gossip.Engine) {
+		t := truth()
+		var sum float64
+		cnt := 0
+		for id := 0; id < n; id++ {
+			if est, ok := e.EstimateOf(gossip.NodeID(id)); ok {
+				sum += math.Abs(est - t)
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			series.Append(float64(round), sum/float64(cnt))
+		}
+	}
+}
+
 // AblationMoments (A6) extends Figure 10's correlated-failure scenario
 // to the second moment: dynamic standard-deviation tracking via
 // three-component Push-Sum-Revert. Failing the top-valued half changes
@@ -28,10 +50,7 @@ func AblationMoments(sc Scale) Result {
 	for _, lambda := range []float64{0, 0.01, 0.1} {
 		values := uniformValues(sc.N, sc.Seed+7)
 		environment := env.NewUniform(sc.N)
-		agents := make([]gossip.Agent, sc.N)
-		for i := range agents {
-			agents[i] = moments.New(gossip.NodeID(i), values[i], moments.Config{Lambda: lambda, PushPull: true})
-		}
+		cfg := moments.Config{Lambda: lambda, PushPull: true}
 		series := stats.Series{Label: fmt.Sprintf("λ=%.4f", lambda)}
 		trueStdDev := func() float64 {
 			var sum, sq float64
@@ -48,28 +67,25 @@ func AblationMoments(sc Scale) Result {
 			mean := sum / float64(n)
 			return math.Sqrt(sq/float64(n) - mean*mean)
 		}
-		engine, err := gossip.NewEngine(gossip.Config{
-			Env: environment, Agents: agents, Model: gossip.PushPull, Seed: sc.Seed,
+		engineCfg := gossip.Config{
+			Env: environment, Model: gossip.PushPull, Seed: sc.Seed,
 			Workers:     sc.Workers,
 			BeforeRound: []gossip.Hook{failure.TopValuedAt(sc.FailAt, 0.5, environment.Population, values)},
-			AfterRound: []gossip.Hook{func(round int, e *gossip.Engine) {
-				truth := trueStdDev()
-				var sum float64
-				n := 0
-				for id, a := range e.Agents() {
-					if !environment.Population.Alive(gossip.NodeID(id)) {
-						continue
-					}
-					if sd, ok := a.(*moments.Node).StdDev(); ok {
-						sum += math.Abs(sd - truth)
-						n++
-					}
-				}
-				if n > 0 {
-					series.Append(float64(round), sum/float64(n))
-				}
-			}},
-		})
+			// The protocol's Estimate IS the standard deviation, and
+			// EstimateOf gates on liveness, so the hook works unchanged
+			// on both execution paths.
+			AfterRound: []gossip.Hook{meanAbsErrorHook(&series, sc.N, trueStdDev)},
+		}
+		if sc.Columnar {
+			engineCfg.Columnar = moments.NewColumnar(values, cfg)
+		} else {
+			agents := make([]gossip.Agent, sc.N)
+			for i := range agents {
+				agents[i] = moments.New(gossip.NodeID(i), values[i], cfg)
+			}
+			engineCfg.Agents = agents
+		}
+		engine, err := gossip.NewEngine(engineCfg)
 		if err != nil {
 			panic(err)
 		}
@@ -103,11 +119,7 @@ func AblationExtremes(sc Scale) Result {
 	for _, m := range modes {
 		values := uniformValues(sc.N, sc.Seed+7)
 		environment := env.NewUniform(sc.N)
-		agents := make([]gossip.Agent, sc.N)
-		for i := range agents {
-			agents[i] = extremes.New(gossip.NodeID(i), values[i],
-				extremes.Config{Mode: extremes.Max, Cutoff: m.cutoff})
-		}
+		cfg := extremes.Config{Mode: extremes.Max, Cutoff: m.cutoff}
 		series := stats.Series{Label: m.label}
 		trueMax := func() float64 {
 			best := math.Inf(-1)
@@ -118,28 +130,22 @@ func AblationExtremes(sc Scale) Result {
 			}
 			return best
 		}
-		engine, err := gossip.NewEngine(gossip.Config{
-			Env: environment, Agents: agents, Model: gossip.PushPull, Seed: sc.Seed,
+		engineCfg := gossip.Config{
+			Env: environment, Model: gossip.PushPull, Seed: sc.Seed,
 			Workers:     sc.Workers,
 			BeforeRound: []gossip.Hook{failure.TopValuedAt(sc.FailAt, 0.5, environment.Population, values)},
-			AfterRound: []gossip.Hook{func(round int, e *gossip.Engine) {
-				truth := trueMax()
-				var sum float64
-				n := 0
-				for id, a := range e.Agents() {
-					if !environment.Population.Alive(gossip.NodeID(id)) {
-						continue
-					}
-					if est, ok := a.Estimate(); ok {
-						sum += math.Abs(est - truth)
-						n++
-					}
-				}
-				if n > 0 {
-					series.Append(float64(round), sum/float64(n))
-				}
-			}},
-		})
+			AfterRound:  []gossip.Hook{meanAbsErrorHook(&series, sc.N, trueMax)},
+		}
+		if sc.Columnar {
+			engineCfg.Columnar = extremes.NewColumnar(values, cfg)
+		} else {
+			agents := make([]gossip.Agent, sc.N)
+			for i := range agents {
+				agents[i] = extremes.New(gossip.NodeID(i), values[i], cfg)
+			}
+			engineCfg.Agents = agents
+		}
+		engine, err := gossip.NewEngine(engineCfg)
 		if err != nil {
 			panic(err)
 		}

@@ -132,7 +132,7 @@ func runAveragingOnce(opts AveragingOptions, lambda float64) stats.Series {
 		BeforeRound: []gossip.Hook{failHook},
 		AfterRound:  []gossip.Hook{metrics.DeviationHook(&series, truth.Average)},
 	}
-	if opts.Columnar && model == gossip.Push {
+	if opts.Columnar {
 		engineCfg.Columnar = pushsumrevert.NewColumnar(values, cfg)
 	} else {
 		agents := make([]gossip.Agent, opts.N)

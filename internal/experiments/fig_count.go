@@ -47,21 +47,28 @@ func runCountingOnce(sc Scale, limited bool, label string) stats.Series {
 	values := onesValues(sc.N)
 	truth := metrics.NewTruth(values, environment.Population)
 
-	agents := make([]gossip.Agent, sc.N)
-	for i := range agents {
-		agents[i] = sketchreset.New(gossip.NodeID(i), sketchreset.Config{
-			Params:      sketch.DefaultParams,
-			Identifiers: 1,
-			NoDecay:     !limited,
-		})
+	cfg := sketchreset.Config{
+		Params:      sketch.DefaultParams,
+		Identifiers: 1,
+		NoDecay:     !limited,
 	}
 	series := stats.Series{Label: label}
-	engine, err := gossip.NewEngine(gossip.Config{
-		Env: environment, Agents: agents, Model: gossip.PushPull, Seed: sc.Seed,
+	engineCfg := gossip.Config{
+		Env: environment, Model: gossip.PushPull, Seed: sc.Seed,
 		Workers:     sc.Workers,
 		BeforeRound: []gossip.Hook{failure.RandomAt(sc.FailAt, 0.5, environment.Population, sc.Seed+13)},
 		AfterRound:  []gossip.Hook{metrics.DeviationHook(&series, truth.Sum)},
-	})
+	}
+	if sc.Columnar {
+		engineCfg.Columnar = sketchreset.NewColumnar(sc.N, cfg)
+	} else {
+		agents := make([]gossip.Agent, sc.N)
+		for i := range agents {
+			agents[i] = sketchreset.New(gossip.NodeID(i), cfg)
+		}
+		engineCfg.Agents = agents
+	}
+	engine, err := gossip.NewEngine(engineCfg)
 	if err != nil {
 		panic(err)
 	}

@@ -5,6 +5,11 @@ import (
 
 	"dynagg/internal/env"
 	"dynagg/internal/gossip"
+	"dynagg/internal/protocol/epoch"
+	"dynagg/internal/protocol/extremes"
+	"dynagg/internal/protocol/invertavg"
+	"dynagg/internal/protocol/moments"
+	"dynagg/internal/protocol/multi"
 	"dynagg/internal/protocol/pushsum"
 	"dynagg/internal/protocol/pushsumrevert"
 	"dynagg/internal/protocol/sketchcount"
@@ -46,14 +51,14 @@ func allocsPerHostRound(t *testing.T, agents []gossip.Agent, workers int) float6
 
 // allocsPerHostRoundColumnar is the columnar twin of
 // allocsPerHostRound: same warm-up, same steady-state measurement,
-// struct-of-arrays execution path.
-func allocsPerHostRoundColumnar(t *testing.T, col gossip.ColumnarAgent, workers int) float64 {
+// struct-of-arrays execution path, either gossip model.
+func allocsPerHostRoundColumnar(t *testing.T, col gossip.ColumnarAgent, model gossip.Model, workers int) float64 {
 	t.Helper()
 	n := col.Len()
 	engine, err := gossip.NewEngine(gossip.Config{
 		Env:      env.NewUniform(n),
 		Columnar: col,
-		Model:    gossip.Push,
+		Model:    model,
 		Seed:     3,
 		Workers:  workers,
 	})
@@ -66,33 +71,71 @@ func allocsPerHostRoundColumnar(t *testing.T, col gossip.ColumnarAgent, workers 
 }
 
 // TestColumnarAllocBudget pins the columnar hot path to the same
-// steady-state budget as the classic message plane: the flat-column
-// round must not allocate at all once the emission column has grown
-// to capacity, on both the sequential and sharded executors.
+// steady-state budget as the classic message plane, for every columnar
+// protocol on every gossip model it supports: the flat-column round —
+// including the push/pull pair-batch executor's wave scheduling — must
+// not allocate once the emission column, pair batches, and wave
+// storage have grown to capacity, on both the sequential and sharded
+// executors.
 func TestColumnarAllocBudget(t *testing.T) {
 	const n = 512
 	values := make([]float64, n)
 	for i := range values {
 		values[i] = float64(i % 101)
 	}
-	builders := map[string]func() gossip.ColumnarAgent{
-		"pushsum": func() gossip.ColumnarAgent { return pushsum.NewColumnarAverage(values) },
-		"pushsumrevert": func() gossip.ColumnarAgent {
-			return pushsumrevert.NewColumnar(values, pushsumrevert.Config{Lambda: 0.02})
-		},
-		"sketchreset": func() gossip.ColumnarAgent {
-			return sketchreset.NewColumnar(n, sketchreset.Config{
-				Params:      sketch.Params{Bins: 16, Levels: 16},
-				Identifiers: 1,
-			})
-		},
+	srCfg := sketchreset.Config{
+		Params:      sketch.Params{Bins: 16, Levels: 16},
+		Identifiers: 1,
 	}
-	for name, mk := range builders {
-		for _, workers := range []int{0, 2} {
-			got := allocsPerHostRoundColumnar(t, mk(), workers)
-			if got > allocBudgetPerHostRound {
-				t.Errorf("%s workers=%d: %.3f allocs per host-round, budget %.1f",
-					name, workers, got, allocBudgetPerHostRound)
+	multiValues := map[string][]float64{"load": values, "queue": values}
+	type budgetCase struct {
+		models []gossip.Model
+		mk     func(model gossip.Model) gossip.ColumnarAgent
+	}
+	both := []gossip.Model{gossip.Push, gossip.PushPull}
+	pushOnly := []gossip.Model{gossip.Push}
+	// Variants whose config differs by model (PushPull reversion) build
+	// from the model; the rest ignore it.
+	revertFor := func(model gossip.Model) pushsumrevert.Config {
+		return pushsumrevert.Config{Lambda: 0.02, PushPull: model == gossip.PushPull}
+	}
+	builders := map[string]budgetCase{
+		"pushsum": {both, func(gossip.Model) gossip.ColumnarAgent {
+			return pushsum.NewColumnarAverage(values)
+		}},
+		"pushsumrevert": {both, func(model gossip.Model) gossip.ColumnarAgent {
+			return pushsumrevert.NewColumnar(values, revertFor(model))
+		}},
+		"sketchreset": {both, func(gossip.Model) gossip.ColumnarAgent {
+			return sketchreset.NewColumnar(n, srCfg)
+		}},
+		"sketchcount": {both, func(gossip.Model) gossip.ColumnarAgent {
+			return sketchcount.NewColumnarCount(n, sketch.Params{Bins: 16, Levels: 16})
+		}},
+		"extremes": {both, func(gossip.Model) gossip.ColumnarAgent {
+			return extremes.NewColumnar(values, extremes.Config{Mode: extremes.Max})
+		}},
+		"moments": {both, func(model gossip.Model) gossip.ColumnarAgent {
+			return moments.NewColumnar(values, moments.Config{Lambda: 0.02, PushPull: model == gossip.PushPull})
+		}},
+		"epoch": {pushOnly, func(gossip.Model) gossip.ColumnarAgent {
+			return epoch.NewColumnar(values, epoch.Config{Length: 8})
+		}},
+		"invertavg": {both, func(model gossip.Model) gossip.ColumnarAgent {
+			return invertavg.NewColumnar(values, srCfg, revertFor(model))
+		}},
+		"multi": {both, func(model gossip.Model) gossip.ColumnarAgent {
+			return multi.NewColumnar(multiValues, srCfg, revertFor(model))
+		}},
+	}
+	for name, bc := range builders {
+		for _, model := range bc.models {
+			for _, workers := range []int{0, 2} {
+				got := allocsPerHostRoundColumnar(t, bc.mk(model), model, workers)
+				if got > allocBudgetPerHostRound {
+					t.Errorf("%s %s workers=%d: %.3f allocs per host-round, budget %.1f",
+						name, model, workers, got, allocBudgetPerHostRound)
+				}
 			}
 		}
 	}

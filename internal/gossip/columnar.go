@@ -28,9 +28,13 @@
 // order-sensitive; preserving fold order is what makes the parity
 // exact rather than approximate.)
 //
-// The columnar path supports the Push model only. Push/pull's atomic
-// pairwise exchanges serialize on shared state and gain nothing from
-// a columnar plane; classic agents remain the path for that model.
+// Push/pull runs on the columnar plane too, through ColExchanger: the
+// engine draws every initiator's peer (same PRNG stream as the classic
+// loop), materialises the round's exchanges as flat []Pair batches —
+// in initiator order sequentially; as the parallel executor's
+// deterministic conflict-free waves under Workers > 0 — and the
+// protocol executes each batch as one kernel over its columns, with no
+// per-pair Exchanger interface calls.
 package gossip
 
 import (
@@ -63,6 +67,10 @@ type ColMsg struct {
 type ColRound struct {
 	// Round is the current round number.
 	Round int
+	// Model is the engine's gossip model. Kernels whose round-end fold
+	// differs between push (apply the delivered inbox) and push/pull
+	// (state was updated in place by ExchangePairs) branch on it.
+	Model Model
 	// Alive is the population-wide liveness bitmap, fixed for the
 	// round (the engine samples Environment.Alive once per host after
 	// Advance and the BeforeRound hooks).
@@ -126,6 +134,33 @@ type ColumnarAgent interface {
 	Estimate(id NodeID) (value float64, ok bool)
 }
 
+// Pair is one push/pull exchange on the columnar plane: initiator A
+// meets peer B. Both endpoints are alive when the engine schedules the
+// pair.
+type Pair struct {
+	A NodeID
+	B NodeID
+}
+
+// ColExchanger is implemented by columnar protocols that additionally
+// support the push/pull model. The engine calls, every push/pull
+// round, in order: BeginRange covering every host; ExchangePairs with
+// the round's exchanges as flat batches; EndRange covering every host.
+// EmitRange and Deliver are never called under push/pull.
+//
+// Batch contract: pairs within one ExchangePairs call may share
+// endpoints and MUST be executed strictly in slice order (the
+// sequential executor hands the whole round as one initiator-ordered
+// batch). Under the parallel executor the engine schedules exchanges
+// into conflict-free waves and may split one wave across concurrent
+// ExchangePairs calls — those batches are endpoint-disjoint by
+// construction, so kernels must only touch the two endpoints' state
+// per pair.
+type ColExchanger interface {
+	ColumnarAgent
+	ExchangePairs(rc *ColRound, pairs []Pair)
+}
+
 // Columnar returns the engine's columnar protocol, or nil when the
 // engine runs classic agents.
 func (e *Engine) Columnar() ColumnarAgent { return e.col }
@@ -186,13 +221,51 @@ func (e *Engine) stepPushColumnar(r int) {
 	e.col.EndRange(rc, 0, n)
 }
 
+// stepPushPullColumnar is the sequential columnar push/pull round: the
+// same begin → exchange → end structure as stepPushPull, but peers are
+// drawn by the engine into one flat []Pair batch (initiator order, the
+// classic loop's execution order) and the protocol runs the whole
+// batch as a single kernel call over its columns — no per-pair
+// Exchanger interface dispatch.
+func (e *Engine) stepPushPullColumnar(r int) {
+	n := e.col.Len()
+	rc := &e.colRound
+	rc.Round = r
+	rc.Alive = e.colAlive
+
+	e.fillAlive(r, 0, n)
+	e.col.BeginRange(rc, 0, n)
+
+	pairs := e.colPairs[:0]
+	for id := 0; id < n; id++ {
+		if !e.colAlive[id] {
+			continue
+		}
+		nid := NodeID(id)
+		peer, ok := e.env.Pick(nid, r, e.rngs[id])
+		if !ok {
+			continue
+		}
+		e.contacts++
+		e.messages += 2 // state travels both ways
+		pairs = append(pairs, Pair{A: nid, B: peer})
+	}
+	e.colPairs = pairs
+	if len(pairs) > 0 {
+		e.colEx.ExchangePairs(rc, pairs)
+	}
+	e.col.EndRange(rc, 0, n)
+}
+
 // validateColumnar checks the columnar half of a Config.
 func validateColumnar(cfg Config) error {
 	if len(cfg.Agents) != 0 {
 		return fmt.Errorf("gossip: Config.Columnar and Config.Agents are mutually exclusive")
 	}
-	if cfg.Model != Push {
-		return fmt.Errorf("gossip: the columnar path supports the push model only, got %s", cfg.Model)
+	if cfg.Model == PushPull {
+		if _, ok := cfg.Columnar.(ColExchanger); !ok {
+			return fmt.Errorf("gossip: columnar protocol %T does not implement ColExchanger required by push-pull", cfg.Columnar)
+		}
 	}
 	if got, want := cfg.Columnar.Len(), cfg.Env.Size(); got != want {
 		return fmt.Errorf("gossip: columnar population %d for environment of size %d", got, want)

@@ -8,44 +8,73 @@ import (
 	"dynagg/internal/env"
 	"dynagg/internal/failure"
 	"dynagg/internal/gossip"
+	"dynagg/internal/protocol/epoch"
+	"dynagg/internal/protocol/extremes"
+	"dynagg/internal/protocol/invertavg"
+	"dynagg/internal/protocol/moments"
+	"dynagg/internal/protocol/multi"
 	"dynagg/internal/protocol/pushsum"
 	"dynagg/internal/protocol/pushsumrevert"
+	"dynagg/internal/protocol/sketchcount"
 	"dynagg/internal/protocol/sketchreset"
 	"dynagg/internal/sketch"
 )
 
 // colCase pairs a protocol's classic (one agent per host) and
-// columnar (one struct for the population) constructions.
+// columnar (one struct for the population) constructions, with the
+// gossip models the protocol supports.
 type colCase struct {
+	models   []gossip.Model
 	agents   func(n int) []gossip.Agent
 	columnar func(n int) gossip.ColumnarAgent
 }
 
+func parityValues(n int) []float64 {
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = float64((i * 31) % 101)
+	}
+	return vs
+}
+
+// columnarCases enumerates the full protocol × model matrix: every
+// protocol with a columnar form, in every configuration variant, under
+// every gossip model its classic form supports. Keys name the
+// subtests.
 func columnarCases(t *testing.T) map[string]colCase {
 	t.Helper()
-	values := func(n int) []float64 {
-		vs := make([]float64, n)
-		for i := range vs {
-			vs[i] = float64((i * 31) % 101)
-		}
-		return vs
-	}
+	values := parityValues
+	both := []gossip.Model{gossip.Push, gossip.PushPull}
+	pushOnly := []gossip.Model{gossip.Push}
 	srCfg := sketchreset.Config{
 		Params:      sketch.Params{Bins: 8, Levels: 12},
 		Identifiers: 1,
 	}
+	scParams := sketch.Params{Bins: 8, Levels: 12}
+	exCfg := extremes.Config{Mode: extremes.Max, Cutoff: 10, TableSize: 4}
 	revertCfg := func(variant string) pushsumrevert.Config {
 		switch variant {
 		case "fulltransfer":
 			return pushsumrevert.Config{Lambda: 0.02, FullTransfer: true, Parcels: 4, Window: 3}
 		case "adaptive":
 			return pushsumrevert.Config{Lambda: 0.02, Adaptive: true}
+		case "pushpull":
+			return pushsumrevert.Config{Lambda: 0.02, PushPull: true}
 		default:
 			return pushsumrevert.Config{Lambda: 0.02}
 		}
 	}
+	multiValues := func(n int) map[string][]float64 {
+		vs := values(n)
+		qs := make([]float64, n)
+		for i := range qs {
+			qs[i] = float64((i*7)%13) + 1
+		}
+		return map[string][]float64{"load": vs, "queue": qs}
+	}
 	cases := map[string]colCase{
 		"pushsum": {
+			models: both,
 			agents: func(n int) []gossip.Agent {
 				agents := make([]gossip.Agent, n)
 				for i, v := range values(n) {
@@ -58,6 +87,7 @@ func columnarCases(t *testing.T) map[string]colCase {
 			},
 		},
 		"sketchreset": {
+			models: both,
 			agents: func(n int) []gossip.Agent {
 				agents := make([]gossip.Agent, n)
 				for i := range agents {
@@ -69,10 +99,54 @@ func columnarCases(t *testing.T) map[string]colCase {
 				return sketchreset.NewColumnar(n, srCfg)
 			},
 		},
+		"sketchcount": {
+			models: both,
+			agents: func(n int) []gossip.Agent {
+				agents := make([]gossip.Agent, n)
+				for i := range agents {
+					agents[i] = sketchcount.NewCount(gossip.NodeID(i), scParams)
+				}
+				return agents
+			},
+			columnar: func(n int) gossip.ColumnarAgent {
+				return sketchcount.NewColumnarCount(n, scParams)
+			},
+		},
+		"extremes": {
+			models: both,
+			agents: func(n int) []gossip.Agent {
+				agents := make([]gossip.Agent, n)
+				for i, v := range values(n) {
+					agents[i] = extremes.New(gossip.NodeID(i), v, exCfg)
+				}
+				return agents
+			},
+			columnar: func(n int) gossip.ColumnarAgent {
+				return extremes.NewColumnar(values(n), exCfg)
+			},
+		},
+		"epoch": {
+			models: pushOnly, // the classic Node implements no exchange
+			agents: func(n int) []gossip.Agent {
+				agents := make([]gossip.Agent, n)
+				for i, v := range values(n) {
+					agents[i] = epoch.New(gossip.NodeID(i), v, epoch.Config{Length: 6})
+				}
+				return agents
+			},
+			columnar: func(n int) gossip.ColumnarAgent {
+				return epoch.NewColumnar(values(n), epoch.Config{Length: 6})
+			},
+		},
 	}
-	for _, variant := range []string{"basic", "adaptive", "fulltransfer"} {
+	for _, variant := range []string{"basic", "adaptive", "fulltransfer", "pushpull"} {
 		cfg := revertCfg(variant)
+		models := pushOnly
+		if variant == "pushpull" {
+			models = []gossip.Model{gossip.PushPull}
+		}
 		cases["pushsumrevert-"+variant] = colCase{
+			models: models,
 			agents: func(n int) []gossip.Agent {
 				agents := make([]gossip.Agent, n)
 				for i, v := range values(n) {
@@ -85,18 +159,98 @@ func columnarCases(t *testing.T) map[string]colCase {
 			},
 		}
 	}
+	for _, variant := range []string{"push", "pushpull"} {
+		cfg := moments.Config{Lambda: 0.02, PushPull: variant == "pushpull"}
+		models := pushOnly
+		if cfg.PushPull {
+			models = []gossip.Model{gossip.PushPull}
+		}
+		cases["moments-"+variant] = colCase{
+			models: models,
+			agents: func(n int) []gossip.Agent {
+				agents := make([]gossip.Agent, n)
+				for i, v := range values(n) {
+					agents[i] = moments.New(gossip.NodeID(i), v, cfg)
+				}
+				return agents
+			},
+			columnar: func(n int) gossip.ColumnarAgent {
+				return moments.NewColumnar(values(n), cfg)
+			},
+		}
+	}
+	for _, variant := range []string{"push", "pushpull"} {
+		avgCfg := pushsumrevert.Config{Lambda: 0.02, PushPull: variant == "pushpull"}
+		model := gossip.Push
+		if avgCfg.PushPull {
+			model = gossip.PushPull
+		}
+		cases["invertavg-"+variant] = colCase{
+			models: []gossip.Model{model},
+			agents: func(n int) []gossip.Agent {
+				agents := make([]gossip.Agent, n)
+				for i, v := range values(n) {
+					agents[i] = invertavg.New(gossip.NodeID(i), v, srCfg, avgCfg)
+				}
+				return agents
+			},
+			columnar: func(n int) gossip.ColumnarAgent {
+				return invertavg.NewColumnar(values(n), srCfg, avgCfg)
+			},
+		}
+		cases["multi-"+variant] = colCase{
+			models: []gossip.Model{model},
+			agents: func(n int) []gossip.Agent {
+				agents := make([]gossip.Agent, n)
+				vals := multiValues(n)
+				for i := range agents {
+					agents[i] = multi.New(gossip.NodeID(i), map[string]float64{
+						"load":  vals["load"][i],
+						"queue": vals["queue"][i],
+					}, srCfg, avgCfg)
+				}
+				return agents
+			},
+			columnar: func(n int) gossip.ColumnarAgent {
+				return multi.NewColumnar(multiValues(n), srCfg, avgCfg)
+			},
+		}
+	}
 	return cases
+}
+
+// columnarEngine builds one engine over the shared failure-wave +
+// churn schedule on either execution path.
+func columnarEngine(t *testing.T, c colCase, model gossip.Model, n, rounds, workers int, columnar bool) *gossip.Engine {
+	t.Helper()
+	environment := env.NewUniform(n)
+	cfg := gossip.Config{
+		Env:     environment,
+		Model:   model,
+		Seed:    9,
+		Workers: workers,
+		BeforeRound: []gossip.Hook{
+			failure.RandomAt(rounds/2, 0.3, environment.Population, 17),
+			failure.Churn(rounds/2+2, 0.05, environment.Population, 23),
+		},
+	}
+	if columnar {
+		cfg.Columnar = c.columnar(n)
+	} else {
+		cfg.Agents = c.agents(n)
+	}
+	engine, err := gossip.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine
 }
 
 // columnarFingerprint runs one engine to completion and captures the
 // exact bit pattern of every host's estimate (dead hosts included,
 // via EstimateOf) plus the traffic counters.
-func columnarFingerprint(t *testing.T, cfg gossip.Config, n, rounds int) fingerprint {
+func columnarFingerprint(t *testing.T, engine *gossip.Engine, n, rounds int) fingerprint {
 	t.Helper()
-	engine, err := gossip.NewEngine(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
 	engine.Run(rounds)
 	fp := fingerprint{messages: engine.Messages(), contacts: engine.Contacts()}
 	for id := 0; id < n; id++ {
@@ -109,66 +263,89 @@ func columnarFingerprint(t *testing.T, cfg gossip.Config, n, rounds int) fingerp
 	return fp
 }
 
-// TestColumnarMatchesClassic pins the tentpole determinism contract:
-// for each converted protocol, the columnar engine — sequential and
-// sharded at several worker counts — produces byte-identical
+// TestColumnarMatchesClassic pins the tentpole determinism contract
+// over the full protocol × model matrix: for each converted protocol
+// and each gossip model it supports, the columnar engine — sequential
+// and sharded at several worker counts — produces byte-identical
 // estimates, message counts, and contact counts to the classic
-// sequential engine over the same seed and failure schedule. A
-// mid-run failure wave plus continuous churn exercises dead-host
-// gating, lost messages, and revival on both paths. The population is
-// deliberately not a multiple of the worker counts.
+// sequential engine over the same seed and failure schedule. A mid-run
+// failure wave plus continuous churn exercises dead-host gating, lost
+// messages, and revival on both paths. The population is deliberately
+// not a multiple of the worker counts.
 func TestColumnarMatchesClassic(t *testing.T) {
 	const (
 		n      = 331
 		rounds = 14
-		seed   = 9
 	)
-	build := func(mk func() (agents []gossip.Agent, col gossip.ColumnarAgent), workers int, columnar bool) gossip.Config {
-		environment := env.NewUniform(n)
-		agents, col := mk()
-		cfg := gossip.Config{
-			Env:     environment,
-			Model:   gossip.Push,
-			Seed:    seed,
-			Workers: workers,
-			BeforeRound: []gossip.Hook{
-				failure.RandomAt(rounds/2, 0.3, environment.Population, 17),
-				failure.Churn(rounds/2+2, 0.05, environment.Population, 23),
-			},
-		}
-		if columnar {
-			cfg.Columnar = col
-		} else {
-			cfg.Agents = agents
-		}
-		return cfg
-	}
 	for name, c := range columnarCases(t) {
-		t.Run(name, func(t *testing.T) {
-			mkClassic := func() ([]gossip.Agent, gossip.ColumnarAgent) { return c.agents(n), nil }
-			mkColumnar := func() ([]gossip.Agent, gossip.ColumnarAgent) { return nil, c.columnar(n) }
-			want := columnarFingerprint(t, build(mkClassic, 0, false), n, rounds)
-			// The classic parallel executor is pinned elsewhere, but
-			// one sample here keeps all three executors in one table.
-			fps := map[string]fingerprint{
-				"classic/workers=4": columnarFingerprint(t, build(mkClassic, 4, false), n, rounds),
-			}
-			for _, workers := range []int{0, 1, 4} {
-				key := fmt.Sprintf("columnar/workers=%d", workers)
-				fps[key] = columnarFingerprint(t, build(mkColumnar, workers, true), n, rounds)
-			}
-			for key, got := range fps {
-				if got.messages != want.messages {
-					t.Errorf("%s: Messages = %d, classic sequential %d", key, got.messages, want.messages)
+		for _, model := range c.models {
+			t.Run(fmt.Sprintf("%s/%s", name, model), func(t *testing.T) {
+				want := columnarFingerprint(t, columnarEngine(t, c, model, n, rounds, 0, false), n, rounds)
+				// The classic parallel executor is pinned elsewhere, but
+				// one sample here keeps all three executors in one table.
+				fps := map[string]fingerprint{
+					"classic/workers=4": columnarFingerprint(t, columnarEngine(t, c, model, n, rounds, 4, false), n, rounds),
 				}
-				if got.contacts != want.contacts {
-					t.Errorf("%s: Contacts = %d, classic sequential %d", key, got.contacts, want.contacts)
+				for _, workers := range []int{0, 1, 4} {
+					key := fmt.Sprintf("columnar/workers=%d", workers)
+					fps[key] = columnarFingerprint(t, columnarEngine(t, c, model, n, rounds, workers, true), n, rounds)
 				}
-				for i := range want.estimates {
-					if got.estimates[i] != want.estimates[i] {
-						t.Errorf("%s: host %d estimate bits %#x, classic sequential %#x",
-							key, i, got.estimates[i], want.estimates[i])
-						break
+				for key, got := range fps {
+					if got.messages != want.messages {
+						t.Errorf("%s: Messages = %d, classic sequential %d", key, got.messages, want.messages)
+					}
+					if got.contacts != want.contacts {
+						t.Errorf("%s: Contacts = %d, classic sequential %d", key, got.contacts, want.contacts)
+					}
+					for i := range want.estimates {
+						if got.estimates[i] != want.estimates[i] {
+							t.Errorf("%s: host %d estimate bits %#x, classic sequential %#x",
+								key, i, got.estimates[i], want.estimates[i])
+							break
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMultiColumnarAggregatesMatchClassic pins the parts of the
+// multi-aggregate state the engine-level fingerprint cannot see:
+// Estimate reports only the shared network-size half, so the per-name
+// running averages and sums are compared host by host here, on both
+// gossip models.
+func TestMultiColumnarAggregatesMatchClassic(t *testing.T) {
+	const (
+		n      = 211
+		rounds = 12
+	)
+	for _, model := range []gossip.Model{gossip.Push, gossip.PushPull} {
+		t.Run(model.String(), func(t *testing.T) {
+			name := "multi-push"
+			if model == gossip.PushPull {
+				name = "multi-pushpull"
+			}
+			c := columnarCases(t)[name]
+			classic := columnarEngine(t, c, model, n, rounds, 0, false)
+			classic.Run(rounds)
+			columnar := columnarEngine(t, c, model, n, rounds, 0, true)
+			columnar.Run(rounds)
+			col := columnar.Columnar().(*multi.Columnar)
+			for id := 0; id < n; id++ {
+				node := classic.Agent(gossip.NodeID(id)).(*multi.Node)
+				for _, agg := range col.Names() {
+					wantAvg, wantOK := node.Average(agg)
+					gotAvg, gotOK := col.Average(agg, gossip.NodeID(id))
+					if wantOK != gotOK || math.Float64bits(wantAvg) != math.Float64bits(gotAvg) {
+						t.Fatalf("host %d %s average: columnar (%v, %v), classic (%v, %v)",
+							id, agg, gotAvg, gotOK, wantAvg, wantOK)
+					}
+					wantSum, wantOK := node.Sum(agg)
+					gotSum, gotOK := col.Sum(agg, gossip.NodeID(id))
+					if wantOK != gotOK || math.Float64bits(wantSum) != math.Float64bits(gotSum) {
+						t.Fatalf("host %d %s sum: columnar (%v, %v), classic (%v, %v)",
+							id, agg, gotSum, gotOK, wantSum, wantOK)
 					}
 				}
 			}
@@ -177,14 +354,22 @@ func TestColumnarMatchesClassic(t *testing.T) {
 }
 
 // TestColumnarConfigValidation pins the columnar half of the Config
-// contract: push-only, agent-exclusive, population-sized.
+// contract: agent-exclusive, population-sized, and push/pull gated on
+// ColExchanger.
 func TestColumnarConfigValidation(t *testing.T) {
 	values := []float64{1, 2, 3, 4}
 	col := pushsum.NewColumnarAverage(values)
 	if _, err := gossip.NewEngine(gossip.Config{
 		Env: env.NewUniform(4), Columnar: col, Model: gossip.PushPull,
+	}); err != nil {
+		t.Errorf("push-pull columnar engine rejected for a ColExchanger protocol: %v", err)
+	}
+	if _, err := gossip.NewEngine(gossip.Config{
+		Env:      env.NewUniform(4),
+		Columnar: epoch.NewColumnar(values, epoch.Config{Length: 4}),
+		Model:    gossip.PushPull,
 	}); err == nil {
-		t.Error("push-pull columnar engine accepted")
+		t.Error("push-pull columnar engine accepted for a protocol without ExchangePairs")
 	}
 	if _, err := gossip.NewEngine(gossip.Config{
 		Env:      env.NewUniform(4),

@@ -113,7 +113,7 @@ const (
 	Push Model = iota
 	// PushPull: each initiation is an atomic pairwise exchange; both
 	// ends observe each other's state. Requires agents implementing
-	// Exchanger.
+	// Exchanger (or, on the columnar path, a ColExchanger protocol).
 	PushPull
 )
 
@@ -140,9 +140,10 @@ type Config struct {
 	// Columnar selects the struct-of-arrays execution path: one
 	// protocol value owning dense per-host state columns for the whole
 	// population, run as flat loops instead of per-host interface
-	// calls (see columnar.go). Mutually exclusive with Agents; push
-	// model only. Results are byte-identical to the classic path for
-	// the same seed.
+	// calls (see columnar.go). Mutually exclusive with Agents. The
+	// push/pull model additionally requires the protocol to implement
+	// ColExchanger (flat pair-batch exchanges). Results are
+	// byte-identical to the classic path for the same seed.
 	Columnar ColumnarAgent
 	Model    Model
 	Seed     uint64
@@ -199,13 +200,16 @@ type Engine struct {
 	pickID    NodeID
 	pickRound int
 
-	// Columnar path state: the bulk protocol, the reusable round
-	// context of the sequential executor, and the per-round liveness
-	// bitmap shared by all columnar executors. All nil/empty when the
-	// engine runs classic agents.
+	// Columnar path state: the bulk protocol (and its push/pull view,
+	// set only when the model needs it), the reusable round context of
+	// the sequential executor, the per-round liveness bitmap shared by
+	// all columnar executors, and the reusable sequential push/pull
+	// pair batch. All nil/empty when the engine runs classic agents.
 	col      ColumnarAgent
+	colEx    ColExchanger
 	colRound ColRound
 	colAlive []bool
+	colPairs []Pair
 
 	// par holds the sharded executor state; nil in sequential mode.
 	par *parExec
@@ -257,7 +261,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if e.col != nil {
 		e.colAlive = make([]bool, n)
-		e.colRound = ColRound{env: e.env, rngs: e.rngs}
+		e.colRound = ColRound{Model: e.model, env: e.env, rngs: e.rngs}
+		if e.model == PushPull {
+			e.colEx = cfg.Columnar.(ColExchanger) // checked by validateColumnar
+		}
 	} else {
 		e.emitters = make([]AppendEmitter, n)
 		e.counts = make([]int32, n)
@@ -330,6 +337,10 @@ func (e *Engine) Step() {
 		h(r, e)
 	}
 	switch {
+	case e.col != nil && e.model == PushPull && e.par != nil:
+		e.stepPushPullColumnarParallel(r)
+	case e.col != nil && e.model == PushPull:
+		e.stepPushPullColumnar(r)
 	case e.col != nil && e.par != nil:
 		e.stepPushColumnarParallel(r)
 	case e.col != nil:

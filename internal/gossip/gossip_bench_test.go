@@ -99,11 +99,11 @@ func benchValues(n int) []float64 {
 }
 
 // benchPushSumEngine builds a real Push-Sum engine over the uniform
-// environment on either execution path.
-func benchPushSumEngine(b *testing.B, n, workers int, columnar bool) *gossip.Engine {
+// environment on either execution path, under either gossip model.
+func benchPushSumEngine(b *testing.B, n, workers int, model gossip.Model, columnar bool) *gossip.Engine {
 	b.Helper()
 	vs := benchValues(n)
-	cfg := gossip.Config{Env: env.NewUniform(n), Model: gossip.Push, Seed: 1, Workers: workers}
+	cfg := gossip.Config{Env: env.NewUniform(n), Model: model, Seed: 1, Workers: workers}
 	if columnar {
 		cfg.Columnar = pushsum.NewColumnarAverage(vs)
 	} else {
@@ -122,7 +122,9 @@ func benchPushSumEngine(b *testing.B, n, workers int, columnar bool) *gossip.Eng
 
 // stepRounds is the common measured loop: warm the engine past the
 // buffer-growth phase, then time steady-state rounds. reportRSS adds
-// the process peak-RSS gauge for the memory-ceiling trajectory.
+// the process peak-RSS gauge for the memory-ceiling trajectory plus
+// the per-round message volume, so the BENCH_results.json 1M rows
+// carry (ns/round, msgs/round, peak_rss_bytes) together.
 func stepRounds(b *testing.B, e *gossip.Engine, reportRSS bool) {
 	b.Helper()
 	e.Run(2) // warm-up: emission columns, arena, and outboxes reach capacity
@@ -134,6 +136,7 @@ func stepRounds(b *testing.B, e *gossip.Engine, reportRSS bool) {
 	b.StopTimer()
 	if reportRSS {
 		b.ReportMetric(float64(sysmem.PeakRSSBytes()), "peak-rss-bytes")
+		b.ReportMetric(float64(e.Messages()/int64(e.Round())), "msgs/round")
 	}
 }
 
@@ -187,37 +190,43 @@ func BenchmarkEngine(b *testing.B) {
 		}
 	}
 	for _, n := range []int{10000, 100000} {
-		for _, path := range []string{"pushsum-aos", "pushsum-columnar"} {
-			for _, workers := range []int{0, gossip.DefaultWorkers()} {
-				name := fmt.Sprintf("n=%d/push/%s/workers=%d", n, path, workers)
-				b.Run(name, func(b *testing.B) {
-					e := benchPushSumEngine(b, n, workers, path == "pushsum-columnar")
-					stepRounds(b, e, false)
-				})
+		for _, model := range []gossip.Model{gossip.Push, gossip.PushPull} {
+			for _, path := range []string{"pushsum-aos", "pushsum-columnar"} {
+				for _, workers := range []int{0, gossip.DefaultWorkers()} {
+					name := fmt.Sprintf("n=%d/%s/%s/workers=%d", n, model, path, workers)
+					b.Run(name, func(b *testing.B) {
+						e := benchPushSumEngine(b, n, workers, model, path == "pushsum-columnar")
+						stepRounds(b, e, false)
+					})
+				}
 			}
 		}
 	}
-	// N=1,000,000: the ROADMAP's million-host target. The AoS run is
-	// the "before" column of the README table; columnar runs both
-	// executors. ~25M messages of warm-up + measurement per case, so
-	// -short (the smoke lane) skips the block and `make bench-1m`
-	// runs it deliberately.
+	// N=1,000,000: the ROADMAP's million-host target, both gossip
+	// models. The AoS runs are the "before" column of the README
+	// table; columnar runs both executors. ~25M messages of warm-up +
+	// measurement per case, so -short (the smoke lane) skips the block
+	// and `make bench-1m` runs it deliberately.
 	if testing.Short() {
 		return
 	}
 	const million = 1000000
 	cases := []struct {
+		model   gossip.Model
 		path    string
 		workers int
 	}{
-		{"pushsum-aos", 0},
-		{"pushsum-columnar", 0},
-		{"pushsum-columnar", gossip.DefaultWorkers()},
+		{gossip.Push, "pushsum-aos", 0},
+		{gossip.Push, "pushsum-columnar", 0},
+		{gossip.Push, "pushsum-columnar", gossip.DefaultWorkers()},
+		{gossip.PushPull, "pushsum-aos", 0},
+		{gossip.PushPull, "pushsum-columnar", 0},
+		{gossip.PushPull, "pushsum-columnar", gossip.DefaultWorkers()},
 	}
 	for _, c := range cases {
-		name := fmt.Sprintf("n=%d/push/%s/workers=%d", million, c.path, c.workers)
+		name := fmt.Sprintf("n=%d/%s/%s/workers=%d", million, c.model, c.path, c.workers)
 		b.Run(name, func(b *testing.B) {
-			e := benchPushSumEngine(b, million, c.workers, c.path == "pushsum-columnar")
+			e := benchPushSumEngine(b, million, c.workers, c.model, c.path == "pushsum-columnar")
 			stepRounds(b, e, true)
 		})
 	}

@@ -74,11 +74,14 @@ type parExec struct {
 	waves    [][]int32
 
 	// Columnar executor state: one round context per shard (each with
-	// its own emission column) and colOutbox[src][dst] buffering the
+	// its own emission column), colOutbox[src][dst] buffering the
 	// messages shard src emitted for hosts owned by shard dst, in
-	// emission order. Empty when the engine runs classic agents.
+	// emission order, and the reusable per-wave pair batch of the
+	// columnar push/pull executor. Empty when the engine runs classic
+	// agents.
 	colRounds []ColRound
 	colOutbox [][][]ColMsg
+	pairBuf   []Pair
 }
 
 func newParExec(e *Engine, n, workers int) *parExec {
@@ -110,7 +113,7 @@ func newParExec(e *Engine, n, workers int) *parExec {
 		p.colRounds = make([]ColRound, workers)
 		p.colOutbox = make([][][]ColMsg, workers)
 		for s := range p.colRounds {
-			p.colRounds[s] = ColRound{env: e.env, rngs: e.rngs}
+			p.colRounds[s] = ColRound{Model: e.model, env: e.env, rngs: e.rngs}
 			p.colOutbox[s] = make([][]ColMsg, workers)
 		}
 	}
@@ -153,8 +156,8 @@ func (p *parExec) forShards(fn func(s, lo, hi int)) {
 }
 
 // forChunks splits [0, m) into worker-count contiguous chunks and runs
-// fn on each concurrently.
-func (p *parExec) forChunks(m int, fn func(lo, hi int)) {
+// fn(chunk, lo, hi) on each concurrently.
+func (p *parExec) forChunks(m int, fn func(s, lo, hi int)) {
 	var wg sync.WaitGroup
 	wg.Add(p.workers)
 	for s := 0; s < p.workers; s++ {
@@ -162,7 +165,7 @@ func (p *parExec) forChunks(m int, fn func(lo, hi int)) {
 			defer wg.Done()
 			lo, hi := s*m/p.workers, (s+1)*m/p.workers
 			if lo < hi {
-				fn(lo, hi)
+				fn(s, lo, hi)
 			}
 		}(s)
 	}
@@ -319,10 +322,50 @@ func (e *Engine) stepPushPullParallel(r int) {
 			}
 		}
 	})
-	// Schedule phase (sequential, cheap): assign each exchange to the
-	// first wave after the last wave touching either endpoint. Waves
-	// are then internally conflict-free while conflicting exchanges
-	// keep their initiator order across waves.
+	// Schedule phase, then execute waves: a barrier between waves,
+	// shard-chunked parallelism inside each (all intra-wave exchanges
+	// are agent-disjoint). Conflict chains leave a tail of tiny waves;
+	// those run inline — spawning a goroutine fan-out per handful of
+	// exchanges costs more than the exchanges themselves, and
+	// intra-wave order is free, so inlining cannot change results.
+	for _, wave := range p.buildWaves(e) {
+		if len(wave) < 2*p.workers {
+			for _, id := range wave {
+				a := e.agents[id].(Exchanger)
+				b := e.agents[p.picks[id].peer].(Exchanger)
+				a.Exchange(b)
+			}
+			continue
+		}
+		wave := wave
+		p.forChunks(len(wave), func(_, lo, hi int) {
+			for _, id := range wave[lo:hi] {
+				a := e.agents[id].(Exchanger)
+				b := e.agents[p.picks[id].peer].(Exchanger)
+				a.Exchange(b)
+			}
+		})
+	}
+	p.recycleWaves()
+	p.forShards(func(s, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			if e.env.Alive(NodeID(id), r) {
+				e.agents[id].EndRound(r)
+			}
+		}
+	})
+}
+
+// buildWaves schedules the round's exchanges (from p.picks) into
+// deterministic conflict-free waves and books the contact/message
+// counters: each exchange lands in the first wave after the last wave
+// touching either endpoint. Waves are internally conflict-free while
+// conflicting exchanges keep their initiator order across waves, so
+// executing waves in order — with any intra-wave parallelism — is
+// byte-identical to the sequential initiator-order loop. The scheduler
+// itself is sequential and cheap; wave storage is recycled across
+// rounds (see recycleWaves).
+func (p *parExec) buildWaves(e *Engine) [][]int32 {
 	for i := range p.lastWave {
 		p.lastWave[i] = -1
 	}
@@ -350,40 +393,65 @@ func (e *Engine) stepPushPullParallel(r int) {
 		p.lastWave[id] = w
 		p.lastWave[pk.peer] = w
 	}
-	// Execute waves: a barrier between waves, shard-chunked
-	// parallelism inside each (all intra-wave exchanges are
-	// agent-disjoint). Conflict chains leave a tail of tiny waves;
-	// those run inline — spawning a goroutine fan-out per handful of
-	// exchanges costs more than the exchanges themselves, and
-	// intra-wave order is free, so inlining cannot change results.
-	for _, wave := range waves {
-		if len(wave) < 2*p.workers {
-			for _, id := range wave {
-				a := e.agents[id].(Exchanger)
-				b := e.agents[p.picks[id].peer].(Exchanger)
-				a.Exchange(b)
+	p.waves = waves
+	return waves
+}
+
+// recycleWaves resets the wave storage for the next round.
+func (p *parExec) recycleWaves() {
+	for i := range p.waves {
+		p.waves[i] = p.waves[i][:0]
+	}
+}
+
+// stepPushPullColumnarParallel is the sharded columnar push/pull
+// round: the same pick → wave-schedule → execute structure as the
+// classic parallel executor, but each wave is materialised as a flat
+// []Pair batch and handed to the protocol's ExchangePairs kernel —
+// whole batch inline for the tiny conflict-chain tail waves, chunked
+// across workers for large ones (intra-wave pairs are
+// endpoint-disjoint, so any partition commutes).
+func (e *Engine) stepPushPullColumnarParallel(r int) {
+	p := e.par
+	// Liveness fill + begin phase, fused as in the columnar push round.
+	p.forShards(func(s, lo, hi int) {
+		rc := &p.colRounds[s]
+		rc.Round = r
+		rc.Alive = e.colAlive
+		e.fillAlive(r, lo, hi)
+		e.col.BeginRange(rc, lo, hi)
+	})
+	// Pick phase: peer selection consumes only the initiator's private
+	// PRNG and read-only environment state, so it parallelizes freely
+	// and yields exactly the peers the sequential loop would draw.
+	p.forShards(func(s, lo, hi int) {
+		alive := e.colAlive
+		for id := lo; id < hi; id++ {
+			p.picks[id] = pick{}
+			if !alive[id] {
+				continue
 			}
+			if peer, ok := e.env.Pick(NodeID(id), r, e.rngs[id]); ok {
+				p.picks[id] = pick{peer: peer, ok: true}
+			}
+		}
+	})
+	for _, wave := range p.buildWaves(e) {
+		pairs := p.pairBuf[:0]
+		for _, id := range wave {
+			pairs = append(pairs, Pair{A: NodeID(id), B: p.picks[id].peer})
+		}
+		p.pairBuf = pairs
+		if len(pairs) < 2*p.workers {
+			e.colEx.ExchangePairs(&p.colRounds[0], pairs)
 			continue
 		}
-		wave := wave
-		p.forChunks(len(wave), func(lo, hi int) {
-			for _, id := range wave[lo:hi] {
-				a := e.agents[id].(Exchanger)
-				b := e.agents[p.picks[id].peer].(Exchanger)
-				a.Exchange(b)
-			}
+		p.forChunks(len(pairs), func(s, lo, hi int) {
+			e.colEx.ExchangePairs(&p.colRounds[s], pairs[lo:hi])
 		})
 	}
-	// Recycle wave storage across rounds.
-	for i := range waves {
-		waves[i] = waves[i][:0]
-	}
-	p.waves = waves
-	p.forShards(func(s, lo, hi int) {
-		for id := lo; id < hi; id++ {
-			if e.env.Alive(NodeID(id), r) {
-				e.agents[id].EndRound(r)
-			}
-		}
+	p.recycleWaves()
+	p.forShards(func(d, lo, hi int) {
+		e.col.EndRange(&p.colRounds[d], lo, hi)
 	})
 }

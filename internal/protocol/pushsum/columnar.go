@@ -6,10 +6,12 @@ import (
 
 // Columnar is the struct-of-arrays form of Push-Sum: one value owns
 // the mass vectors of the entire population as dense columns and runs
-// the round phases as flat loops (gossip.ColumnarAgent). For the same
-// seed and environment it is byte-identical to a population of *Node
-// agents on the classic path — the emission order, PRNG draws, and
-// mass fold order are the same, only the memory layout differs.
+// the round phases as flat loops (gossip.ColumnarAgent). Both gossip
+// models are supported — push emission and the push/pull pair-batch
+// exchange (gossip.ColExchanger). For the same seed and environment it
+// is byte-identical to a population of *Node agents on the classic
+// path — the emission order, PRNG draws, and mass fold order are the
+// same, only the memory layout differs.
 type Columnar struct {
 	w, v     []float64
 	inW, inV []float64
@@ -17,7 +19,7 @@ type Columnar struct {
 	hasEst   []bool
 }
 
-var _ gossip.ColumnarAgent = (*Columnar)(nil)
+var _ gossip.ColExchanger = (*Columnar)(nil)
 
 // NewColumnar returns the columnar population with initial values vs
 // and weights ws (parallel slices, one entry per host).
@@ -105,9 +107,20 @@ func (c *Columnar) Deliver(rc *gossip.ColRound, msgs []gossip.ColMsg) {
 
 // EndRange implements gossip.ColumnarAgent. Under the push model a
 // live host always receives at least its own message, so the
-// classic path's received flag is constant true here.
+// classic path's received flag is constant true here. Under push/pull
+// mass was updated in place by ExchangePairs and nothing was
+// delivered, so only the estimate is refreshed — exactly the classic
+// EndRound with received == false.
 func (c *Columnar) EndRange(rc *gossip.ColRound, lo, hi int) {
 	alive := rc.Alive
+	if rc.Model == gossip.PushPull {
+		for i := lo; i < hi; i++ {
+			if alive[i] {
+				c.refreshEstimate(i)
+			}
+		}
+		return
+	}
 	for i := lo; i < hi; i++ {
 		if !alive[i] {
 			continue
@@ -115,6 +128,21 @@ func (c *Columnar) EndRange(rc *gossip.ColRound, lo, hi int) {
 		c.w[i] = c.inW[i]
 		c.v[i] = c.inV[i]
 		c.refreshEstimate(i)
+	}
+}
+
+// ExchangePairs implements gossip.ColExchanger: the push/pull
+// half-difference transfer of Node.Exchange as a flat loop — after
+// each pair both ends hold the mean of the two mass vectors.
+func (c *Columnar) ExchangePairs(rc *gossip.ColRound, pairs []gossip.Pair) {
+	for _, pr := range pairs {
+		a, b := pr.A, pr.B
+		mw := (c.w[a] + c.w[b]) / 2
+		mv := (c.v[a] + c.v[b]) / 2
+		c.w[a], c.w[b] = mw, mw
+		c.v[a], c.v[b] = mv, mv
+		c.refreshEstimate(int(a))
+		c.refreshEstimate(int(b))
 	}
 }
 

@@ -1,19 +1,17 @@
 package pushsumrevert
 
 import (
-	"fmt"
-
 	"dynagg/internal/gossip"
 )
 
 // Columnar is the struct-of-arrays form of Push-Sum-Revert: one value
 // owns the whole population's mass vectors, reversion targets, and
 // Full-Transfer windows as dense columns (gossip.ColumnarAgent). All
-// push-model variants are supported — basic λ reversion, Adaptive
-// (indegree-scaled) reversion, and Full-Transfer — and each is
-// byte-identical to a population of *Node agents on the classic path.
-// PushPull configurations are rejected: the columnar engine is
-// push-only.
+// variants are supported — basic λ reversion, Adaptive
+// (indegree-scaled) reversion, Full-Transfer, and PushPull (pairwise
+// exchanges via gossip.ColExchanger, reversion applied once per round
+// at range end) — and each is byte-identical to a population of *Node
+// agents on the classic path.
 type Columnar struct {
 	cfg Config
 
@@ -31,16 +29,13 @@ type Columnar struct {
 	hasEst []bool
 }
 
-var _ gossip.ColumnarAgent = (*Columnar)(nil)
+var _ gossip.ColExchanger = (*Columnar)(nil)
 
 // NewColumnar returns the columnar population with data values vs,
 // all hosts sharing cfg.
 func NewColumnar(vs []float64, cfg Config) *Columnar {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
-	}
-	if cfg.PushPull {
-		panic(fmt.Errorf("pushsumrevert: PushPull configurations have no columnar form (push-only engine)"))
 	}
 	n := len(vs)
 	w0 := cfg.Weight
@@ -193,9 +188,53 @@ func (c *Columnar) Deliver(rc *gossip.ColRound, msgs []gossip.ColMsg) {
 	}
 }
 
+// DeliverMsg folds a single message, for composite protocols
+// (invertavg) that route a mixed message column and dispatch
+// per-message instead of handing over whole batches.
+func (c *Columnar) DeliverMsg(m gossip.ColMsg) {
+	if c.cfg.Adaptive {
+		λ := c.cfg.Lambda
+		c.inW[m.To] += (1-λ)*m.Mass.W + (λ/2)*c.w0[m.To]
+		c.inV[m.To] += (1-λ)*m.Mass.V + (λ/2)*c.mv0[m.To]
+		c.inMsgs[m.To]++
+		return
+	}
+	c.inW[m.To] += m.Mass.W
+	c.inV[m.To] += m.Mass.V
+	c.inMsgs[m.To]++
+}
+
+// ExchangePairs implements gossip.ColExchanger: the pairwise mass
+// averaging of Node.Exchange as a flat loop. As on the classic path,
+// the reversion decay is applied once per round in EndRange, not per
+// exchange.
+func (c *Columnar) ExchangePairs(rc *gossip.ColRound, pairs []gossip.Pair) {
+	for _, pr := range pairs {
+		a, b := pr.A, pr.B
+		mw := (c.w[a] + c.w[b]) / 2
+		mv := (c.v[a] + c.v[b]) / 2
+		c.w[a], c.w[b] = mw, mw
+		c.v[a], c.v[b] = mv, mv
+	}
+}
+
 // EndRange implements gossip.ColumnarAgent.
 func (c *Columnar) EndRange(rc *gossip.ColRound, lo, hi int) {
 	alive := rc.Alive
+	if c.cfg.PushPull {
+		// Mass was updated in place by ExchangePairs; apply the
+		// reversion decay exactly once per round (Node.endRoundPull).
+		λ := c.cfg.Lambda
+		for i := lo; i < hi; i++ {
+			if !alive[i] {
+				continue
+			}
+			c.w[i] = λ*c.w0[i] + (1-λ)*c.w[i]
+			c.v[i] = λ*c.mv0[i] + (1-λ)*c.v[i]
+			c.refreshEstimate(i)
+		}
+		return
+	}
 	if c.cfg.FullTransfer {
 		W := int32(c.cfg.Window)
 		for i := lo; i < hi; i++ {

@@ -17,8 +17,12 @@ import (
 // which is exactly what the classic path's snapshot payloads did, one
 // cache-hostile allocation at a time.
 //
-// Byte-identical to a population of *Node agents on the classic push
-// path: identifier placement, aging, cutoffs, and estimates all match.
+// Push/pull is supported through gossip.ColExchanger: each pair
+// min-merges the two live blocks into each other and re-pins both
+// ends' owned indices, exactly Node.Exchange.
+//
+// Byte-identical to a population of *Node agents on the classic path:
+// identifier placement, aging, cutoffs, and estimates all match.
 type Columnar struct {
 	cfg    Config
 	stride int // counters per host = Bins*Levels
@@ -41,7 +45,7 @@ type Columnar struct {
 	est    []float64
 }
 
-var _ gossip.ColumnarAgent = (*Columnar)(nil)
+var _ gossip.ColExchanger = (*Columnar)(nil)
 
 // NewColumnar returns the columnar population of n Count-Sketch-Reset
 // hosts, all sharing cfg. Identifier placement matches New exactly:
@@ -153,10 +157,18 @@ func (c *Columnar) EmitRange(rc *gossip.ColRound, lo, hi int) {
 		if !ok {
 			continue
 		}
-		copy(c.shadow[i*c.stride:(i+1)*c.stride], c.counters[i*c.stride:(i+1)*c.stride])
+		c.Snapshot(id)
 		out = append(out, gossip.ColMsg{To: peer, From: id})
 	}
 	rc.Out = out
+}
+
+// Snapshot copies host id's live matrix into the shadow block — the
+// columnar form of the classic path's per-message snapshot payload.
+// Composite protocols (invertavg, multi) that drive their own emission
+// loop call it before addressing a payload-free message From id.
+func (c *Columnar) Snapshot(id gossip.NodeID) {
+	copy(c.shadow[int(id)*c.stride:(int(id)+1)*c.stride], c.counters[int(id)*c.stride:(int(id)+1)*c.stride])
 }
 
 // Deliver implements gossip.ColumnarAgent: element-wise min of the
@@ -166,12 +178,43 @@ func (c *Columnar) EmitRange(rc *gossip.ColRound, lo, hi int) {
 // the result is bit-for-bit what Node.minMerge produces.
 func (c *Columnar) Deliver(rc *gossip.ColRound, msgs []gossip.ColMsg) {
 	for _, m := range msgs {
-		dst := c.counters[int(m.To)*c.stride : (int(m.To)+1)*c.stride]
-		src := c.shadow[int(m.From)*c.stride : (int(m.From)+1)*c.stride]
-		for j, v := range src {
-			if v < dst[j] {
-				dst[j] = v
+		c.DeliverFrom(m.To, m.From)
+	}
+}
+
+// DeliverFrom min-merges host from's shadow (start-of-round) matrix
+// into host to's live matrix — one message's worth of Deliver, exposed
+// for composite protocols that route a mixed message column.
+func (c *Columnar) DeliverFrom(to, from gossip.NodeID) {
+	dst := c.counters[int(to)*c.stride : (int(to)+1)*c.stride]
+	src := c.shadow[int(from)*c.stride : (int(from)+1)*c.stride]
+	for j, v := range src {
+		if v < dst[j] {
+			dst[j] = v
+		}
+	}
+}
+
+// ExchangePairs implements gossip.ColExchanger: mutual min-merge of
+// the two ends' live matrices with both owned sets re-pinned to zero
+// afterwards — exactly Node.Exchange, over flat blocks.
+func (c *Columnar) ExchangePairs(rc *gossip.ColRound, pairs []gossip.Pair) {
+	for _, pr := range pairs {
+		a := c.counters[int(pr.A)*c.stride : (int(pr.A)+1)*c.stride]
+		b := c.counters[int(pr.B)*c.stride : (int(pr.B)+1)*c.stride]
+		for j, av := range a {
+			m := av
+			if b[j] < m {
+				m = b[j]
 			}
+			a[j] = m
+			b[j] = m
+		}
+		for _, idx := range c.owned[c.ownedOff[pr.A]:c.ownedOff[pr.A+1]] {
+			a[idx] = 0
+		}
+		for _, idx := range c.owned[c.ownedOff[pr.B]:c.ownedOff[pr.B+1]] {
+			b[idx] = 0
 		}
 	}
 }
