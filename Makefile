@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race bench bench-json bench-1m fmt vet vuln ci live-soak fuzz-smoke
+.PHONY: build examples test race bench bench-json bench-1m bench-live-1m fmt vet vuln ci live-soak fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -54,24 +54,41 @@ bench-1m:
 		$(GO) run ./cmd/benchjson -o BENCH_results.json BENCH_1M_raw.txt; \
 	fi
 
+# Million-host LIVE engine benchmark: the columnar population backend
+# driving 1,000,000 wall-clock hosts over real loopback UDP sockets,
+# batch-encoded datagrams end to end. -benchline emits a
+# Benchmark-formatted row (ns/tick, msgs/s, peak-rss-bytes) that
+# cmd/benchjson merges into BENCH_results.json next to the round-based
+# engine rows, so the artifact records both the synchronous and the
+# live million-host capability.
+bench-live-1m:
+	$(GO) run ./cmd/dynaggsim live -columnar -n 1000000 -transport=udp -benchline | tee BENCH_LIVE_raw.txt
+	@files=BENCH_LIVE_raw.txt; \
+	for f in BENCH_raw.txt BENCH_1M_raw.txt; do \
+		if [ -f $$f ]; then files="$$f $$files"; fi; \
+	done; \
+	cat $$files | $(GO) run ./cmd/benchjson -o BENCH_results.json
+
 # Transport/live-engine soak: the concurrency-heavy tests (goroutine
 # drivers, UDP readers, loss injection) twice under the race detector
 # with a generous timeout, in their own CI lane so `make ci` stays
 # fast. (internal/wire is single-threaded; its tests already run under
-# race in `make ci` and its decoders get fuzz-smoke below.) The second
-# line soaks the columnar parity suite — all 9 protocols × push/
-# push-pull × workers 0/1/4, engine- and driver-level — under race,
-# since the sharded columnar executors are the other concurrency-heavy
-# surface.
+# race in `make ci` and its decoders get fuzz-smoke below.) The 'Live'
+# pattern covers both population backends — the classic per-agent
+# tests and the columnar batch-plane tests live side by side in the
+# live package. The second line soaks the columnar parity suite — all
+# 9 protocols × push/push-pull × workers 0/1/4, engine- and
+# driver-level — under race, since the sharded columnar executors are
+# the other concurrency-heavy surface.
 live-soak:
-	$(GO) test -race -count=2 -timeout 15m -run 'Live|Transport' ./internal/gossip/live/...
+	$(GO) test -race -count=2 -timeout 15m -run 'Live|Transport|Batch|Lossy|UDP' ./internal/gossip/live/...
 	$(GO) test -race -count=2 -timeout 15m -run 'Columnar' ./internal/gossip ./internal/experiments
 
 # Native Go fuzzing smoke pass: 10 seconds per wire decoder, enough to
 # shake out the easy crashes on every push (a socket feeds these
 # decoders attacker-controllable bytes). Seed corpora always run via
 # `go test`; this adds fresh mutation time.
-FUZZ_TARGETS = FuzzDecodeCounters FuzzDecodeCandidates FuzzDecodeHeader FuzzDecodeSketchBits FuzzDecodeMass
+FUZZ_TARGETS = FuzzDecodeCounters FuzzDecodeCountersMin FuzzDecodeCandidates FuzzDecodeHeader FuzzDecodeSketchBits FuzzDecodeMass
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
 		echo "fuzz $$t"; \

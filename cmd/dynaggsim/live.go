@@ -15,14 +15,16 @@ import (
 	"dynagg/internal/protocol/pushsumrevert"
 	"dynagg/internal/protocol/sketchreset"
 	"dynagg/internal/sketch"
+	"dynagg/internal/sysmem"
 )
 
 // liveOpts parametrizes the `live` experiment: run a protocol on the
-// asynchronous live engine over a selectable transport, optionally
-// with injected loss — the knob set of live.Config surfaced on the
-// command line.
+// asynchronous live engine over a selectable transport and backend,
+// optionally with injected loss — the knob set of live.Config surfaced
+// on the command line.
 type liveOpts struct {
 	protocol  string // pushsum | revert | sketchreset
+	backend   string // agents | columnar
 	transport string // chan | udp
 	loss      float64
 	wan       string // canned WAN preset name, or ""
@@ -32,11 +34,42 @@ type liveOpts struct {
 	ticks     int
 	workers   int
 	seed      uint64
+	rcvbuf    int  // SO_RCVBUF for UDP sockets; 0 = auto
+	benchline bool // also print a Benchmark-formatted summary line
+}
+
+// resolveLossTransport layers -wan / -loss over a base transport with
+// the shared validation both CLI modes use: the two flags are mutually
+// exclusive (a preset already sets a loss rate), and unknown preset
+// names list the valid ones. It returns the (possibly wrapped)
+// transport and the effective injected loss rate.
+func resolveLossTransport(tr transport.Transport, wan string, loss float64, seed uint64) (transport.Transport, float64, error) {
+	switch {
+	case wan != "" && loss > 0:
+		return nil, 0, fmt.Errorf("-wan and -loss are mutually exclusive (the preset already sets a loss rate)")
+	case wan != "":
+		p, ok := transport.ProfileByName(wan)
+		if !ok {
+			return nil, 0, fmt.Errorf("unknown -wan preset %q (%s)", wan, strings.Join(transport.ProfileNames(), ", "))
+		}
+		lt, err := transport.NewLossy(tr, transport.WithProfile(p), transport.WithLossSeed(seed))
+		if err != nil {
+			return nil, 0, err
+		}
+		return lt, p.Loss, nil
+	case loss > 0:
+		lt, err := transport.NewLossy(tr, transport.WithLoss(loss), transport.WithLossSeed(seed))
+		if err != nil {
+			return nil, 0, err
+		}
+		return lt, loss, nil
+	}
+	return tr, 0, nil
 }
 
 // runLive executes one live-engine run and prints a small report:
-// population, transport, tick count, the mean estimate against the
-// truth, and the transport's sent/dropped books.
+// the resolved configuration, the mean estimate against the truth,
+// the transport's sent/dropped books, throughput, and peak RSS.
 func runLive(out io.Writer, o liveOpts) error {
 	if o.n <= 0 {
 		o.n = 256
@@ -47,6 +80,12 @@ func runLive(out io.Writer, o liveOpts) error {
 	if o.groups <= 0 {
 		o.groups = 4
 	}
+	if o.backend == "" {
+		o.backend = "agents"
+	}
+	if o.backend != "agents" && o.backend != "columnar" {
+		return fmt.Errorf("live: unknown -backend %q (agents, columnar)", o.backend)
+	}
 	// Count-Sketch-Reset bounds counter ages assuming loosely equal
 	// iteration rates across the population, so it defaults to a paced
 	// duty cycle; the mass protocols are rate-independent and default
@@ -54,44 +93,101 @@ func runLive(out io.Writer, o liveOpts) error {
 	if o.pace == 0 && o.protocol == "sketchreset" {
 		o.pace = 4 * time.Millisecond
 	}
-
-	u := env.NewUniform(o.n)
-	agents := make([]gossip.Agent, o.n)
-	var truth float64
-	switch o.protocol {
-	case "pushsum":
-		var sum float64
-		for i := 0; i < o.n; i++ {
-			v := float64(i % 100)
-			sum += v
-			agents[i] = pushsum.NewAverage(gossip.NodeID(i), v)
-		}
-		truth = sum / float64(o.n)
-	case "revert":
-		var sum float64
-		for i := 0; i < o.n; i++ {
-			v := float64(i % 100)
-			sum += v
-			agents[i] = pushsumrevert.New(gossip.NodeID(i), v, pushsumrevert.Config{Lambda: 0.01})
-		}
-		truth = sum / float64(o.n)
-	case "sketchreset":
-		for i := 0; i < o.n; i++ {
-			agents[i] = sketchreset.New(gossip.NodeID(i), sketchreset.Config{
-				Params: sketch.DefaultParams, Identifiers: 1,
-			})
-		}
-		truth = float64(o.n)
-	default:
-		return fmt.Errorf("live: unknown -protocol %q (pushsum, revert, sketchreset)", o.protocol)
+	if o.transport == "" {
+		o.transport = "chan"
 	}
 
+	u := env.NewUniform(o.n)
+	values := make([]float64, o.n)
+	var sum float64
+	for i := range values {
+		values[i] = float64(i % 100)
+		sum += values[i]
+	}
+	// The full-size sketch matrix is 1536 counters per host — 3 GiB of
+	// double-buffered columns at a million hosts — so large columnar
+	// counting runs shrink the sketch the same way the engine bench
+	// does.
+	sketchParams := sketch.DefaultParams
+	if o.backend == "columnar" && o.n > 200_000 {
+		sketchParams = benchSketchParams
+	}
+
+	var pop live.Population
+	var truth float64
+	switch o.backend {
+	case "agents":
+		agents := make([]gossip.Agent, o.n)
+		switch o.protocol {
+		case "pushsum":
+			for i := 0; i < o.n; i++ {
+				agents[i] = pushsum.NewAverage(gossip.NodeID(i), values[i])
+			}
+			truth = sum / float64(o.n)
+		case "revert":
+			for i := 0; i < o.n; i++ {
+				agents[i] = pushsumrevert.New(gossip.NodeID(i), values[i], pushsumrevert.Config{Lambda: 0.01})
+			}
+			truth = sum / float64(o.n)
+		case "sketchreset":
+			for i := 0; i < o.n; i++ {
+				agents[i] = sketchreset.New(gossip.NodeID(i), sketchreset.Config{
+					Params: sketchParams, Identifiers: 1,
+				})
+			}
+			truth = float64(o.n)
+		default:
+			return fmt.Errorf("live: unknown -protocol %q (pushsum, revert, sketchreset)", o.protocol)
+		}
+		pop = live.NewAgentPopulation(agents)
+	case "columnar":
+		switch o.protocol {
+		case "pushsum":
+			pop = live.NewColumnarPopulation(pushsum.NewColumnarAverage(values))
+			truth = sum / float64(o.n)
+		case "revert":
+			pop = live.NewColumnarPopulation(pushsumrevert.NewColumnar(values, pushsumrevert.Config{Lambda: 0.01}))
+			truth = sum / float64(o.n)
+		case "sketchreset":
+			pop = live.NewColumnarPopulation(sketchreset.NewColumnar(o.n, sketchreset.Config{
+				Params: sketchParams, Identifiers: 1,
+			}))
+			truth = float64(o.n)
+		default:
+			return fmt.Errorf("live: unknown -protocol %q (pushsum, revert, sketchreset)", o.protocol)
+		}
+	}
+
+	rcvbuf := o.rcvbuf
+	if rcvbuf == 0 && o.backend == "columnar" {
+		// A whole shard's wave lands on one socket between drains;
+		// give the kernel room for it.
+		rcvbuf = 4 << 20
+	}
 	var tr transport.Transport
 	switch o.transport {
-	case "", "chan":
-		tr = transport.NewChannel(o.n, 0)
+	case "chan":
+		if o.backend == "columnar" {
+			// Group count doubles as the columnar shard count.
+			tr = transport.NewChannelGroups(o.n, 0, o.groups)
+		} else {
+			tr = transport.NewChannel(o.n, 0)
+		}
 	case "udp":
-		udp, err := transport.NewUDPLoopback(o.n, o.groups, 0)
+		queue := 0
+		if o.backend == "columnar" {
+			// A columnar tick arrives at each group as one burst of
+			// whole-shard batches; the default 256-batch queue sheds
+			// most of a million-host wave, so give the drains a
+			// tick's worth of headroom (~64 MiB of pooled buffers
+			// worst case).
+			queue = 1024
+		}
+		udp, err := transport.NewUDP(
+			transport.WithLoopbackGroups(o.n, o.groups),
+			transport.WithReadBuffer(rcvbuf),
+			transport.WithQueueCapacity(queue),
+		)
 		if err != nil {
 			return err
 		}
@@ -100,32 +196,31 @@ func runLive(out io.Writer, o liveOpts) error {
 	default:
 		return fmt.Errorf("live: unknown -transport %q (chan, udp)", o.transport)
 	}
-	injectedLoss := o.loss
-	switch {
-	case o.wan != "" && o.loss > 0:
-		return fmt.Errorf("live: -wan and -loss are mutually exclusive (the preset already sets a loss rate)")
-	case o.wan != "":
-		p, ok := transport.ProfileByName(o.wan)
-		if !ok {
-			return fmt.Errorf("live: unknown -wan preset %q (%s)", o.wan, strings.Join(transport.ProfileNames(), ", "))
-		}
-		injectedLoss = p.Loss
-		lt := p.Wrap(tr, o.seed+1)
+	tr, injectedLoss, err := resolveLossTransport(tr, o.wan, o.loss, o.seed+1)
+	if err != nil {
+		return fmt.Errorf("live: %w", err)
+	}
+	if lt, ok := tr.(*transport.Lossy); ok {
 		defer lt.Close()
-		tr = lt
-	case o.loss > 0:
-		lt := &transport.Lossy{T: tr, P: o.loss, Seed: o.seed + 1}
-		defer lt.Close()
-		tr = lt
 	}
 
 	e, err := live.New(live.Config{
-		Env: u, Agents: agents, Model: gossip.Push, Seed: o.seed,
+		Env: u, Population: pop, Model: gossip.Push, Seed: o.seed,
 		Ticks: o.ticks, Workers: o.workers, Transport: tr, TickEvery: o.pace,
 	})
 	if err != nil {
 		return err
 	}
+
+	name := o.transport
+	if o.wan != "" {
+		name += "+" + o.wan
+	}
+	fmt.Fprintf(out, "live config: protocol=%s backend=%s transport=%s n=%d ticks=%d groups=%d\n",
+		o.protocol, o.backend, name, o.n, o.ticks, o.groups)
+	fmt.Fprintf(out, "             loss=%.4f pace=%v workers=%d seed=%d rcvbuf=%d\n",
+		injectedLoss, o.pace, o.workers, o.seed, rcvbuf)
+
 	start := time.Now()
 	if err := e.Run(context.Background()); err != nil {
 		return err
@@ -140,18 +235,19 @@ func runLive(out io.Writer, o liveOpts) error {
 	if len(ests) > 0 {
 		mean /= float64(len(ests))
 	}
-	name := o.transport
-	if name == "" {
-		name = "chan"
-	}
-	if o.wan != "" {
-		name += "+" + o.wan
-	}
-	fmt.Fprintf(out, "live %s over %s: n=%d ticks=%d loss=%.2f pace=%v workers=%d\n",
-		o.protocol, name, o.n, o.ticks, injectedLoss, o.pace, o.workers)
+	rss := sysmem.PeakRSSBytes()
 	fmt.Fprintf(out, "mean estimate %.4f  truth %.4f  rel.err %.2f%%\n",
 		mean, truth, 100*relErr(mean, truth))
-	fmt.Fprintf(out, "sent %d  dropped %d  elapsed %v\n", e.Sent(), e.Dropped(), elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "sent %d  dropped %d  elapsed %v  peak_rss_bytes %d\n",
+		e.Sent(), e.Dropped(), elapsed.Round(time.Millisecond), rss)
+	if o.benchline {
+		// Benchmark-formatted so cmd/benchjson (and benchstat) ingest
+		// the run alongside the `go test -bench` rows.
+		nsPerTick := elapsed.Nanoseconds() / int64(o.ticks)
+		msgsPerSec := int64(float64(e.Sent()) / elapsed.Seconds())
+		fmt.Fprintf(out, "BenchmarkLiveEngine/backend=%s/proto=%s/transport=%s/n=%d 1 %d ns/tick %d msgs/s %d peak-rss-bytes\n",
+			o.backend, o.protocol, o.transport, o.n, nsPerTick, msgsPerSec, rss)
+	}
 	return nil
 }
 

@@ -26,10 +26,15 @@
 //
 //	live   run a protocol on the live engine (-protocol pushsum|
 //	       revert|sketchreset) over a transport (-transport chan|udp)
-//	       with optional injected loss (-loss 0.2) or a canned WAN
-//	       preset (-wan lan|3g|sat: loss+delay+jitter à la netem),
-//	       UDP socket count (-udp-groups 4), wall-clock duty cycle
-//	       (-pace 4ms), and tick count (-ticks 60)
+//	       on either population backend (-backend agents|columnar, or
+//	       the -columnar shorthand: per-host goroutine-safe agents vs.
+//	       the struct-of-arrays columns that scale to a million live
+//	       hosts), with optional injected loss (-loss 0.2) or a canned
+//	       WAN preset (-wan lan|3g|sat: loss+delay+jitter à la netem),
+//	       socket/shard group count (-udp-groups 4), UDP receive
+//	       buffer (-rcvbuf bytes), wall-clock duty cycle (-pace 4ms),
+//	       tick count (-ticks 60), and -benchline to append a
+//	       Benchmark-formatted summary row for cmd/benchjson
 //
 // Engine benchmark (the ROADMAP's million-host target):
 //
@@ -121,8 +126,17 @@ func run(args []string) error {
 	groups := fs.Int("udp-groups", 4, "live UDP transport: host groups (= sockets)")
 	pace := fs.Duration("pace", 0, "live tick duty cycle; 0 = free-running (sketchreset defaults to 4ms)")
 	ticks := fs.Int("ticks", 0, "live ticks per host (default 60)")
+	backend := fs.String("backend", "", "live population backend: agents (default; per-host boxed agents) or columnar (dense struct-of-arrays columns; -columnar is shorthand)")
+	rcvbuf := fs.Int("rcvbuf", 0, "live UDP socket receive buffer in bytes; 0 = auto (4 MiB for the columnar backend)")
+	benchline := fs.Bool("benchline", false, "live: also print a Benchmark-formatted summary line (ns/tick, msgs/s, peak-rss-bytes) for cmd/benchjson")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	// Loss injection only exists on the live path; catching the flags
+	// here stops a silently ignored `bench -loss 0.2` from reading as a
+	// loss measurement.
+	if name != "live" && (*loss != 0 || *wan != "") {
+		return fmt.Errorf("%s: -loss and -wan apply only to the live experiment", name)
 	}
 
 	// Profiling wraps every mode, so the N=1M engine profile (or any
@@ -196,10 +210,20 @@ func run(args []string) error {
 			workers: sc.Workers, columnar: *columnar, seed: *seed,
 		})
 	case "live":
+		// -columnar is shorthand for -backend=columnar; an explicit
+		// conflicting pair is a user error, not a coin flip.
+		be := *backend
+		if *columnar {
+			if be != "" && be != "columnar" {
+				return fmt.Errorf("live: -columnar conflicts with -backend=%s", be)
+			}
+			be = "columnar"
+		}
 		return runLive(out, liveOpts{
-			protocol: *protocol, transport: *transportName, loss: *loss,
-			wan: *wan, groups: *groups, pace: *pace, n: *n, ticks: *ticks,
-			workers: sc.Workers, seed: *seed,
+			protocol: *protocol, backend: be, transport: *transportName,
+			loss: *loss, wan: *wan, groups: *groups, pace: *pace, n: *n,
+			ticks: *ticks, workers: sc.Workers, seed: *seed,
+			rcvbuf: *rcvbuf, benchline: *benchline,
 		})
 	}
 
@@ -387,9 +411,10 @@ engine bench: bench [-protocol pushsum|revert|sketchreset|sketchcount|extremes|m
              [-model push|pushpull] [-columnar]
              [-n N (default 1,000,000)] [-rounds R] [-workers W] [-seed S]
 live engine: live [-protocol pushsum|revert|sketchreset]
+             [-backend agents|columnar | -columnar]
              [-transport chan|udp] [-loss P | -wan lan|3g|sat]
-             [-udp-groups G] [-pace DUR] [-ticks T] [-n N]
-             [-workers W] [-seed S]
+             [-udp-groups G] [-rcvbuf BYTES] [-pace DUR] [-ticks T]
+             [-n N] [-workers W] [-seed S] [-benchline]
 trace tools: trace-gen [-dataset D] [-o FILE]
              trace-info -in FILE [-contacts]`)
 }

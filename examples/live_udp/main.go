@@ -66,12 +66,12 @@ func main() {
 // newTransport builds one process's UDP transport: two host groups,
 // the given one bound locally on an ephemeral loopback port.
 func newTransport(local int) (*transport.UDP, error) {
-	cfg := transport.UDPConfig{
-		Groups: []transport.Group{{Lo: 0, Hi: hosts / 2}, {Lo: hosts / 2, Hi: hosts}},
-		Local:  []int{local},
-	}
-	cfg.Groups[local].Addr = "127.0.0.1:0"
-	return transport.NewUDP(cfg)
+	groups := []transport.Group{{Lo: 0, Hi: hosts / 2}, {Lo: hosts / 2, Hi: hosts}}
+	groups[local].Addr = "127.0.0.1:0"
+	return transport.NewUDP(
+		transport.WithGroups(groups...),
+		transport.WithLocal(local),
+	)
 }
 
 // newEngine assembles the live engine for one span of the population.
@@ -91,8 +91,9 @@ func newEngine(proto string, span live.Span, tr transport.Transport) (*live.Engi
 		}
 	}
 	return live.New(live.Config{
-		Env: env.NewUniform(hosts), Agents: agents, Model: gossip.Push,
-		Seed: seed, Ticks: ticks, TickEvery: pace, Transport: tr, Span: span,
+		Env: env.NewUniform(hosts), Population: live.NewAgentPopulation(agents),
+		Model: gossip.Push, Seed: seed, Ticks: ticks, TickEvery: pace,
+		Transport: tr, Span: span,
 	})
 }
 

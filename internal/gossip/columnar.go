@@ -84,6 +84,15 @@ type ColRound struct {
 	rngs []*xrand.Rand
 }
 
+// NewColRound builds a round context for drivers that tick columnar
+// kernels outside the round engine — the live engine's
+// ColumnarPopulation shards. rngs must hold one generator per host,
+// indexed by NodeID, from the same Split streams the engine would
+// build; the caller owns Round, Alive, and Out between kernel calls.
+func NewColRound(model Model, env Environment, rngs []*xrand.Rand) *ColRound {
+	return &ColRound{Model: model, env: env, rngs: rngs}
+}
+
 // Pick draws one gossip partner for host id from the environment,
 // consuming id's private PRNG — the same stream, in the same order,
 // as the classic path's PeerPicker.

@@ -1,5 +1,5 @@
-// Package live runs gossip protocols with one goroutine per simulated
-// host, exchanging messages over a pluggable transport — the Go-native
+// Package live runs gossip protocols as concurrently ticking hosts
+// exchanging messages over a pluggable transport — the Go-native
 // counterpart to the deterministic round engine in package gossip.
 //
 // The round engine answers "what does the protocol do?" reproducibly;
@@ -10,6 +10,19 @@
 // are designed exactly for such loose environments, so they must
 // converge here too — the live engine's tests assert convergence
 // within tolerance rather than exact trajectories.
+//
+// The host population is an abstraction (Population) with two
+// implementations:
+//
+//   - NewAgentPopulation wraps one boxed gossip.Agent per host — the
+//     engine's original per-goroutine form, byte-compatible with it,
+//     and the only form that supports push/pull and Span.
+//   - NewColumnarPopulation drives a gossip.ColumnarAgent: the whole
+//     population's state lives in dense columns, per-shard driver
+//     loops tick contiguous host ranges, and messages are encoded
+//     straight from columns into transport batches (and decoded
+//     straight back) with no per-host boxing — the form that scales
+//     the live path to a million hosts in one process.
 //
 // Messages travel through a transport.Transport. The default is the
 // in-process channel transport (the engine's original inbox plumbing,
@@ -32,12 +45,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"dynagg/internal/gossip"
 	"dynagg/internal/gossip/live/transport"
-	"dynagg/internal/xrand"
 )
 
 // Span designates the slice [Lo, Hi) of the environment's population
@@ -48,15 +59,26 @@ type Span struct {
 
 // Config assembles a live engine.
 type Config struct {
+	// Population is the host-state backend the engine drives: build it
+	// with NewAgentPopulation (one gossip.Agent per host, the classic
+	// per-goroutine form) or NewColumnarPopulation (dense columns,
+	// per-shard drivers, batch transport I/O). Exactly one of
+	// Population and the deprecated Agents must be set.
+	Population Population
 	// Agents are the protocol instances, one per driven host: agent i
 	// is host Span.Lo+i (host i for a full-population engine).
+	//
+	// Deprecated: set Population to NewAgentPopulation(agents)
+	// instead. New wraps a non-nil Agents slice in exactly that shim,
+	// so behavior is identical; the field remains only so existing
+	// construction sites keep working.
 	Agents []gossip.Agent
 	// Env supplies liveness and peer selection. It must be
 	// time-invariant: Advance is never called and the round argument
 	// passed to Alive/Pick is the host's local tick count.
 	Env gossip.Environment
 	// Model selects push (transport delivery) or push/pull (pairwise
-	// locked exchange).
+	// locked exchange; agent populations only).
 	Model gossip.Model
 	// Seed drives per-host randomness, split by global host id so the
 	// engines of a multi-process run draw from disjoint streams.
@@ -68,46 +90,47 @@ type Config struct {
 	// saturated radio would. Zero means transport.DefaultQueue (256).
 	// Ignored when Transport is set — the transport owns its queues.
 	InboxCapacity int
-	// TickEvery paces hosts in wall-clock time: each host performs one
-	// iteration per interval instead of spinning as fast as the
+	// TickEvery paces hosts in wall-clock time: each driver performs
+	// one iteration per interval instead of spinning as fast as the
 	// scheduler allows. Age-based protocols (Count-Sketch-Reset) bound
 	// counter ages assuming the population iterates at loosely equal
 	// rates — which free-running goroutines racing a real network do
 	// not provide, but a radio duty cycle does. Zero keeps the unpaced
 	// free-running mode.
 	TickEvery time.Duration
-	// Workers bounds the driver goroutines. 0 (the default) keeps one
-	// goroutine per host — maximal interleaving, the harshest setting
-	// for protocol robustness. k > 0 multiplexes hosts onto k workers,
-	// each sweeping the ticks of a contiguous host shard — the mode
-	// that scales to populations where per-host goroutines would
-	// exhaust memory. Either way runs are not reproducible; only the
-	// round engine is.
+	// Workers bounds the driver goroutines. For an agent population, 0
+	// (the default) keeps one goroutine per host — maximal
+	// interleaving, the harshest setting for protocol robustness — and
+	// k > 0 multiplexes hosts onto k workers, each sweeping a
+	// contiguous host shard. For a columnar population drivers own
+	// whole transport batch groups, so the effective count is capped
+	// at the group count (0 means one driver per group). Either way
+	// runs are not reproducible; only the round engine is.
 	Workers int
 	// Transport carries cross-host messages. Nil selects the
 	// in-process channel transport over the full population — the
-	// engine's original behavior. The engine never closes the
-	// transport; the caller owns its lifetime (the default channel
-	// transport needs no closing).
+	// engine's original behavior. Columnar populations additionally
+	// require the transport to expose a batch plane
+	// (transport.Batcher; the channel and UDP transports both do). The
+	// engine never closes the transport; the caller owns its lifetime
+	// (the default channel transport needs no closing).
 	Transport transport.Transport
 	// Span restricts the engine to a slice of the population, with the
 	// rest driven by other engines (typically other OS processes)
-	// reachable through Transport. Requires an explicit Transport and
-	// the push model: push/pull exchanges need both agents in-process.
-	// The zero Span drives everything.
+	// reachable through Transport. Requires an explicit Transport, the
+	// push model, and an agent population. The zero Span drives
+	// everything.
 	Span Span
 }
 
-// Engine is a running live simulation.
+// Engine is a running live simulation: the tick/pacing/cancellation
+// skeleton around a Population that owns the actual host state.
 type Engine struct {
-	cfg   Config
-	tr    transport.Transport
-	lo    gossip.NodeID // global id of Agents[0]
-	locks []sync.Mutex
-	rngs  []*xrand.Rand
-	// local counts messages that never touch the transport: a host's
-	// own retained share and push/pull exchange legs.
-	local atomic.Int64
+	cfg     Config
+	pop     Population
+	tr      transport.Transport
+	lo      gossip.NodeID // global id of the first driven host
+	partial bool
 }
 
 // New validates the configuration and builds a live engine.
@@ -115,15 +138,22 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Env == nil {
 		return nil, fmt.Errorf("live: Config.Env is nil")
 	}
+	pop := cfg.Population
+	switch {
+	case pop == nil && cfg.Agents == nil:
+		return nil, fmt.Errorf("live: Config.Population is nil (build one with NewAgentPopulation or NewColumnarPopulation)")
+	case pop == nil:
+		// Deprecated construction path: identical to handing the same
+		// slice to NewAgentPopulation yourself.
+		pop = NewAgentPopulation(cfg.Agents)
+	case cfg.Agents != nil:
+		return nil, fmt.Errorf("live: set Config.Population or the deprecated Config.Agents, not both")
+	}
 	partial := cfg.Span != (Span{})
 	if partial {
 		if cfg.Span.Lo < 0 || cfg.Span.Lo >= cfg.Span.Hi || int(cfg.Span.Hi) > cfg.Env.Size() {
 			return nil, fmt.Errorf("live: Span [%d,%d) outside environment of size %d",
 				cfg.Span.Lo, cfg.Span.Hi, cfg.Env.Size())
-		}
-		if got, want := len(cfg.Agents), int(cfg.Span.Hi-cfg.Span.Lo); got != want {
-			return nil, fmt.Errorf("live: %d agents for span [%d,%d) of %d hosts",
-				got, cfg.Span.Lo, cfg.Span.Hi, want)
 		}
 		if cfg.Transport == nil {
 			return nil, fmt.Errorf("live: Span requires an explicit Transport to reach the other hosts")
@@ -131,8 +161,6 @@ func New(cfg Config) (*Engine, error) {
 		if cfg.Model != gossip.Push {
 			return nil, fmt.Errorf("live: Span supports only the push model; push/pull exchanges need both agents in-process")
 		}
-	} else if len(cfg.Agents) != cfg.Env.Size() {
-		return nil, fmt.Errorf("live: %d agents for environment of size %d", len(cfg.Agents), cfg.Env.Size())
 	}
 	if cfg.Ticks <= 0 {
 		return nil, fmt.Errorf("live: Ticks must be positive, got %d", cfg.Ticks)
@@ -143,32 +171,23 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.TickEvery < 0 {
 		return nil, fmt.Errorf("live: TickEvery must be >= 0, got %v", cfg.TickEvery)
 	}
-	if cfg.Model == gossip.PushPull {
-		for i, a := range cfg.Agents {
-			if _, ok := a.(gossip.Exchanger); !ok {
-				return nil, fmt.Errorf("live: agent %d (%T) does not implement Exchanger", i, a)
-			}
-		}
-	}
 	if lt, ok := cfg.Transport.(*transport.Lossy); ok {
 		if err := lt.Validate(); err != nil {
 			return nil, fmt.Errorf("live: %w", err)
 		}
 	}
-	n := len(cfg.Agents)
 	e := &Engine{
-		cfg:   cfg,
-		tr:    cfg.Transport,
-		lo:    cfg.Span.Lo,
-		locks: make([]sync.Mutex, n),
-		rngs:  make([]*xrand.Rand, n),
+		cfg:     cfg,
+		pop:     pop,
+		tr:      cfg.Transport,
+		lo:      cfg.Span.Lo,
+		partial: partial,
 	}
 	if e.tr == nil {
 		e.tr = transport.NewChannel(cfg.Env.Size(), cfg.InboxCapacity)
 	}
-	root := xrand.New(cfg.Seed)
-	for i := 0; i < n; i++ {
-		e.rngs[i] = root.Split(uint64(e.lo) + uint64(i))
+	if err := pop.bind(e); err != nil {
+		return nil, err
 	}
 	return e, nil
 }
@@ -177,37 +196,38 @@ func New(cfg Config) (*Engine, error) {
 // default channel transport when Config.Transport was nil).
 func (e *Engine) Transport() transport.Transport { return e.tr }
 
+// Population returns the host-state backend the engine drives. A
+// deprecated Config.Agents construction yields the *AgentPopulation
+// shim wrapping exactly that slice.
+func (e *Engine) Population() Population { return e.pop }
+
 // Sent returns the number of messages successfully enqueued, both
 // through the transport and delivered in-process (self shares,
 // push/pull exchange legs).
-func (e *Engine) Sent() int64 { return e.local.Load() + e.tr.Sent() }
+func (e *Engine) Sent() int64 { return e.pop.local() + e.tr.Sent() }
 
 // Dropped returns the number of messages lost in transit: full
 // queues, transport.Lossy injection, or dead sockets.
 func (e *Engine) Dropped() int64 { return e.tr.Dropped() }
 
-// Run executes every host's ticks concurrently and blocks until all
-// hosts finish or the context is cancelled. With Config.Workers == 0
-// each host gets its own goroutine; otherwise Workers goroutines each
-// drive a contiguous shard of hosts, sweeping the shard once per tick.
-// On cancellation every shard returns ctx.Err(); Run reports it once.
+// Run executes the population's ticks concurrently and blocks until
+// every driver finishes or the context is cancelled. The population
+// decides its driver layout (see Config.Workers); each driver sweeps
+// one tick of its hosts, then the next, so a driver's hosts progress
+// together while drivers interleave freely against each other. On
+// cancellation every driver returns ctx.Err(); Run reports it once.
 func (e *Engine) Run(ctx context.Context) error {
+	drivers := e.pop.drivers(e.cfg.Workers)
 	var wg sync.WaitGroup
-	n := len(e.cfg.Agents)
-	workers := e.cfg.Workers
-	if workers == 0 || workers > n {
-		workers = n
-	}
-	errs := make(chan error, workers)
-	for s := 0; s < workers; s++ {
-		lo, hi := s*n/workers, (s+1)*n/workers
+	errs := make(chan error, len(drivers))
+	for _, d := range drivers {
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(d driver) {
 			defer wg.Done()
-			if err := e.shardLoop(ctx, lo, hi); err != nil {
+			if err := e.driveLoop(ctx, d); err != nil {
 				errs <- err
 			}
-		}(lo, hi)
+		}(d)
 	}
 	wg.Wait()
 	select {
@@ -218,10 +238,9 @@ func (e *Engine) Run(ctx context.Context) error {
 	}
 }
 
-// shardLoop drives local hosts [lo, hi): one tick of every host, then
-// the next tick, so shard hosts progress together while shards
-// interleave freely against each other.
-func (e *Engine) shardLoop(ctx context.Context, lo, hi int) error {
+// driveLoop runs one driver's ticks under the engine's pacing and
+// cancellation rules.
+func (e *Engine) driveLoop(ctx context.Context, d driver) error {
 	var pacer *time.Ticker
 	if e.cfg.TickEvery > 0 {
 		pacer = time.NewTicker(e.cfg.TickEvery)
@@ -241,99 +260,17 @@ func (e *Engine) shardLoop(ctx context.Context, lo, hi int) error {
 			default:
 			}
 		}
-		for i := lo; i < hi; i++ {
-			id := e.lo + gossip.NodeID(i)
-			if !e.cfg.Env.Alive(id, tick) {
-				continue
-			}
-			switch e.cfg.Model {
-			case gossip.Push:
-				e.pushTick(e.cfg.Agents[i], id, tick, e.rngs[i])
-			case gossip.PushPull:
-				e.pullTick(e.cfg.Agents[i], id, tick, e.rngs[i])
-			}
-		}
+		d.tick(tick)
 	}
 	return nil
 }
 
-// pushTick runs one asynchronous push iteration: drain, emit, fold.
-// The agent lock serializes against concurrent exchanges and estimate
-// reads.
-func (e *Engine) pushTick(agent gossip.Agent, id gossip.NodeID, tick int, rng *xrand.Rand) {
-	li := int(id - e.lo)
-	e.locks[li].Lock()
-	agent.BeginRound(tick)
-	// Drain whatever arrived since the last tick.
-	e.tr.Drain(id, agent.Receive)
-	pick := func() (gossip.NodeID, bool) { return e.cfg.Env.Pick(id, tick, rng) }
-	// Deliberately Emit, not EmitAppend: payloads sit in transport
-	// queues across tick boundaries here, so they need independent
-	// lifetime. gossip.AppendEmitter payloads may alias emitter scratch
-	// that is rewritten next tick — only the synchronous round engine,
-	// which delivers within the emitting round, may use them.
-	envs := agent.Emit(tick, rng, pick)
-	// Self messages are the host's own retained share: they must land
-	// in the same round (before EndRound folds the inbox) and must
-	// never be dropped, or mass would evaporate — so they bypass the
-	// transport entirely.
-	for _, env := range envs {
-		if env.To == id {
-			agent.Receive(env.Payload)
-			e.local.Add(1)
-		}
-	}
-	agent.EndRound(tick)
-	e.locks[li].Unlock()
-
-	for _, env := range envs {
-		if env.To == id {
-			continue
-		}
-		e.tr.Send(id, env.To, tick, env.Payload)
-	}
-}
-
-// pullTick runs one push/pull iteration: pick a peer and perform the
-// pairwise exchange under both hosts' locks, ordered by id to prevent
-// deadlock. Exchanges are in-process by nature (both agents mutate),
-// so they never touch the transport; Span engines therefore reject
-// the push/pull model at construction.
-func (e *Engine) pullTick(agent gossip.Agent, id gossip.NodeID, tick int, rng *xrand.Rand) {
-	peer, ok := e.cfg.Env.Pick(id, tick, rng)
-	if !ok || peer == id {
-		return
-	}
-	a, b := int(id-e.lo), int(peer-e.lo)
-	if a > b {
-		a, b = b, a
-	}
-	e.locks[a].Lock()
-	e.locks[b].Lock()
-	agent.BeginRound(tick)
-	agent.(gossip.Exchanger).Exchange(e.cfg.Agents[peer-e.lo].(gossip.Exchanger))
-	agent.EndRound(tick)
-	e.locks[b].Unlock()
-	e.locks[a].Unlock()
-	e.local.Add(2)
-}
-
-// Estimates returns the driven hosts' current estimates. Call after
-// Run returns (or accept racy snapshots during a run — each read takes
-// the host lock, so individual estimates are coherent).
+// Estimates returns the driven hosts' current estimates, skipping
+// hosts the environment reports dead at the final tick. Call after Run
+// returns (or accept racy snapshots during a run — agent populations
+// take the host lock per read, so individual estimates are coherent;
+// columnar estimates during a run are torn-free per host but
+// unsynchronized).
 func (e *Engine) Estimates() []float64 {
-	out := make([]float64, 0, len(e.cfg.Agents))
-	for i, a := range e.cfg.Agents {
-		id := e.lo + gossip.NodeID(i)
-		if !e.cfg.Env.Alive(id, e.cfg.Ticks) {
-			continue
-		}
-		e.locks[i].Lock()
-		v, ok := a.Estimate()
-		e.locks[i].Unlock()
-		if ok {
-			out = append(out, v)
-		}
-	}
-	return out
+	return e.pop.estimates()
 }

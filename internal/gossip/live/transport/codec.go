@@ -24,6 +24,11 @@ const (
 	kindResetCounters
 	kindSketchBits
 	kindCandidates
+	// kindColumnarBatch tags a Batcher datagram: the header's To is
+	// the destination group index, From the encoded message count, and
+	// the body an opaque run of protocol-framed records the columnar
+	// live path decodes straight into state columns.
+	kindColumnarBatch
 )
 
 // maxCounterElements bounds the counter matrices a datagram may carry
@@ -97,6 +102,13 @@ func decodeEnvelope(src []byte) (wire.Header, any, error) {
 	if err != nil {
 		return wire.Header{}, nil, err
 	}
+	return decodePayload(h, rest)
+}
+
+// decodePayload decodes the post-header bytes of a per-host datagram
+// (the reader peels the header first so batch datagrams can bypass
+// payload boxing entirely).
+func decodePayload(h wire.Header, rest []byte) (wire.Header, any, error) {
 	switch h.Kind {
 	case kindPushSumMass:
 		w, v, _, err := wire.DecodeMass(rest)

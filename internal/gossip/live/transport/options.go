@@ -1,0 +1,152 @@
+// Option-style construction. Transports used to be assembled by
+// struct-literal field poking (`&Lossy{T: udp, P: 0.2, Seed: 9}`,
+// `NewUDP(UDPConfig{...})`); the option constructors below compose the
+// same knobs — group layout, queue depths, loss, delay, WAN profiles —
+// uniformly, so call sites read as a configuration sentence:
+//
+//	tr, err := transport.NewUDP(
+//		transport.WithLoopbackGroups(1_000_000, 8),
+//		transport.WithReadBuffer(4<<20))
+//	lt, err := transport.NewLossy(tr, transport.WithLoss(0.2), transport.WithLossSeed(12))
+//
+// A full UDPConfig still satisfies UDPOption (field-wise overlay), so
+// pre-options call sites — NewUDP(cfg) — keep compiling unchanged, and
+// the Lossy struct fields stay exported for the same reason.
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"dynagg/internal/gossip"
+)
+
+// UDPOption configures NewUDP. Options apply in argument order; later
+// options override earlier ones.
+type UDPOption interface{ applyUDP(*UDPConfig) }
+
+// udpOptionFunc adapts a function to UDPOption.
+type udpOptionFunc func(*UDPConfig)
+
+func (f udpOptionFunc) applyUDP(c *UDPConfig) { f(c) }
+
+// applyUDP lets a complete UDPConfig act as one big option: every
+// non-zero field overlays the accumulated configuration. This is the
+// compatibility bridge for pre-options call sites.
+func (c UDPConfig) applyUDP(dst *UDPConfig) {
+	if c.Groups != nil {
+		dst.Groups = c.Groups
+	}
+	if c.Local != nil {
+		dst.Local = c.Local
+	}
+	if c.QueueCapacity != 0 {
+		dst.QueueCapacity = c.QueueCapacity
+	}
+	if c.ReadBuffer != 0 {
+		dst.ReadBuffer = c.ReadBuffer
+	}
+	if c.MaxDatagram != 0 {
+		dst.MaxDatagram = c.MaxDatagram
+	}
+}
+
+// WithGroups sets the population partition (non-empty, non-overlapping,
+// sorted by Lo), replacing any earlier layout.
+func WithGroups(groups ...Group) UDPOption {
+	return udpOptionFunc(func(c *UDPConfig) { c.Groups = groups })
+}
+
+// WithLocal lists the group indices this process binds sockets for.
+func WithLocal(local ...int) UDPOption {
+	return udpOptionFunc(func(c *UDPConfig) { c.Local = local })
+}
+
+// WithLoopbackGroups lays hosts [0, hosts) out as `groups` contiguous
+// local groups on ephemeral loopback ports — the single-process layout
+// NewUDPLoopback has always built, as a composable option.
+func WithLoopbackGroups(hosts, groups int) UDPOption {
+	return udpOptionFunc(func(c *UDPConfig) {
+		if groups <= 0 {
+			groups = 1
+		}
+		if groups > hosts {
+			groups = hosts
+		}
+		c.Groups = c.Groups[:0]
+		c.Local = c.Local[:0]
+		for g := 0; g < groups; g++ {
+			c.Groups = append(c.Groups, Group{
+				Lo:   gossip.NodeID(g * hosts / groups),
+				Hi:   gossip.NodeID((g + 1) * hosts / groups),
+				Addr: "127.0.0.1:0",
+			})
+			c.Local = append(c.Local, g)
+		}
+	})
+}
+
+// WithQueueCapacity bounds each local host's (and group's) receive
+// queue; 0 keeps DefaultQueue.
+func WithQueueCapacity(n int) UDPOption {
+	return udpOptionFunc(func(c *UDPConfig) { c.QueueCapacity = n })
+}
+
+// WithReadBuffer sets SO_RCVBUF on each local socket. Million-host
+// columnar runs want several MiB here: a whole shard's wave lands on
+// one socket between drains.
+func WithReadBuffer(n int) UDPOption {
+	return udpOptionFunc(func(c *UDPConfig) { c.ReadBuffer = n })
+}
+
+// WithMaxDatagram bounds encoded datagram size; 0 keeps the 64 KiB
+// default.
+func WithMaxDatagram(n int) UDPOption {
+	return udpOptionFunc(func(c *UDPConfig) { c.MaxDatagram = n })
+}
+
+// LossyOption configures NewLossy.
+type LossyOption func(*Lossy)
+
+// WithLoss sets the per-send drop probability in [0, 1].
+func WithLoss(p float64) LossyOption { return func(l *Lossy) { l.P = p } }
+
+// WithLossSeed seeds the injector's private PRNG.
+func WithLossSeed(seed uint64) LossyOption { return func(l *Lossy) { l.Seed = seed } }
+
+// WithDelay postpones each surviving delivery by delay plus a uniform
+// random extra in [0, jitter).
+func WithDelay(delay, jitter time.Duration) LossyOption {
+	return func(l *Lossy) {
+		l.Delay = delay
+		l.Jitter = jitter
+	}
+}
+
+// WithProfile applies a canned WAN preset — ProfileLAN, Profile3G,
+// ProfileSat, or anything ProfileByName resolves — setting loss,
+// delay, and jitter in one option.
+func WithProfile(p Profile) LossyOption {
+	return func(l *Lossy) {
+		l.P = p.Loss
+		l.Delay = p.Delay
+		l.Jitter = p.Jitter
+	}
+}
+
+// NewLossy layers a validated loss/delay injector over inner. With no
+// options it forwards everything — loss comes from WithLoss or
+// WithProfile.
+func NewLossy(inner Transport, opts ...LossyOption) (*Lossy, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("transport: NewLossy inner transport is nil")
+	}
+	l := &Lossy{T: inner}
+	for _, opt := range opts {
+		opt(l)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

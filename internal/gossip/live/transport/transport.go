@@ -69,19 +69,57 @@ type Channel struct {
 	sent    atomic.Int64
 	dropped atomic.Int64
 	closed  atomic.Bool
+
+	// Batch plane (Batcher): the same group partition the UDP
+	// transport would use, one batch queue per group, bodies held in
+	// pooled buffers.
+	groups    []Group
+	batches   []chan batchItem
+	batchBufs sync.Pool
 }
 
 var _ Transport = (*Channel)(nil)
 
 // NewChannel returns a channel transport for hosts [0, hosts) with the
-// given per-host queue capacity (0 means DefaultQueue).
+// given per-host queue capacity (0 means DefaultQueue). Its batch
+// plane has a single group spanning every host; multi-shard columnar
+// runs want NewChannelGroups.
 func NewChannel(hosts, capacity int) *Channel {
+	return NewChannelGroups(hosts, capacity, 1)
+}
+
+// NewChannelGroups is NewChannel with the batch plane split into
+// `groups` contiguous host groups (clamped to [1, hosts]) — the
+// in-process mirror of NewUDPLoopback's socket layout, so columnar
+// shard counts can be exercised without sockets. The per-host plane is
+// unaffected.
+func NewChannelGroups(hosts, capacity, groups int) *Channel {
 	if capacity <= 0 {
 		capacity = DefaultQueue
 	}
-	c := &Channel{inbox: make([]chan any, hosts)}
+	if groups <= 0 {
+		groups = 1
+	}
+	if groups > hosts && hosts > 0 {
+		groups = hosts
+	}
+	c := &Channel{
+		inbox:   make([]chan any, hosts),
+		batches: make([]chan batchItem, groups),
+	}
 	for i := range c.inbox {
 		c.inbox[i] = make(chan any, capacity)
+	}
+	for g := 0; g < groups; g++ {
+		c.groups = append(c.groups, Group{
+			Lo: gossip.NodeID(g * hosts / groups),
+			Hi: gossip.NodeID((g + 1) * hosts / groups),
+		})
+		c.batches[g] = make(chan batchItem, capacity)
+	}
+	c.batchBufs.New = func() any {
+		b := make([]byte, 0, 1024)
+		return &b
 	}
 	return c
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"dynagg/internal/gossip"
+	"dynagg/internal/wire"
 )
 
 // Group is one contiguous slice [Lo, Hi) of the host population that
@@ -56,25 +57,47 @@ type UDPConfig struct {
 // is not simulated here; it happens, in the kernel's socket buffers,
 // whenever receivers fall behind.
 type UDP struct {
-	cfg     UDPConfig
-	conns   []*net.UDPConn // parallel to cfg.Local
-	addrs   []atomic.Pointer[net.UDPAddr]
-	connOf  map[int]*net.UDPConn // group index -> local socket
-	queues  map[gossip.NodeID]chan any
-	bufs    sync.Pool
-	sent    atomic.Int64
-	dropped atomic.Int64
-	closed  atomic.Bool
-	wg      sync.WaitGroup
+	cfg    UDPConfig
+	conns  []*net.UDPConn // parallel to cfg.Local
+	addrs  []atomic.Pointer[net.UDPAddr]
+	connOf map[int]*net.UDPConn // group index -> local socket
+	// hostQ is the per-host inbox plane, built lazily on first use
+	// (reader unicast delivery or Drain): a million-host columnar run
+	// moves everything over the batch plane, and a quarter-gigabyte of
+	// buffered channels per 64k hosts must not be paid for a plane
+	// that never carries a message.
+	hostQ     atomic.Pointer[map[gossip.NodeID]chan any]
+	hostQOnce sync.Once
+	batchQ    []chan batchItem // parallel to cfg.Groups; nil for remote groups
+	bufs      sync.Pool
+	sent      atomic.Int64
+	dropped   atomic.Int64
+	closed    atomic.Bool
+	wg        sync.WaitGroup
 }
 
 var _ Transport = (*UDP)(nil)
 
-// NewUDP binds one socket per local group and starts its reader. The
+// NewUDP assembles the configuration from options — a full UDPConfig
+// works as one (field-wise overlay), so both styles compose:
+//
+//	NewUDP(cfg)
+//	NewUDP(WithLoopbackGroups(1024, 8), WithReadBuffer(4<<20))
+//
+// then binds one socket per local group and starts its reader. The
 // transport is usable immediately for local traffic; remote groups
 // whose Addr was left empty need SetGroupAddr before messages to them
 // can leave.
-func NewUDP(cfg UDPConfig) (*UDP, error) {
+func NewUDP(opts ...UDPOption) (*UDP, error) {
+	var cfg UDPConfig
+	for _, opt := range opts {
+		opt.applyUDP(&cfg)
+	}
+	return newUDP(cfg)
+}
+
+// newUDP builds the transport from a resolved configuration.
+func newUDP(cfg UDPConfig) (*UDP, error) {
 	if len(cfg.Groups) == 0 {
 		return nil, fmt.Errorf("transport: UDPConfig.Groups is empty")
 	}
@@ -99,7 +122,7 @@ func NewUDP(cfg UDPConfig) (*UDP, error) {
 		cfg:    cfg,
 		addrs:  make([]atomic.Pointer[net.UDPAddr], len(cfg.Groups)),
 		connOf: make(map[int]*net.UDPConn, len(cfg.Local)),
-		queues: make(map[gossip.NodeID]chan any),
+		batchQ: make([]chan batchItem, len(cfg.Groups)),
 	}
 	u.bufs.New = func() any {
 		b := make([]byte, 0, 512)
@@ -121,7 +144,6 @@ func NewUDP(cfg UDPConfig) (*UDP, error) {
 			u.closeConns()
 			return nil, fmt.Errorf("transport: local group index %d out of range", gi)
 		}
-		g := cfg.Groups[gi]
 		bind := u.addrs[gi].Load()
 		if bind == nil {
 			u.closeConns()
@@ -144,13 +166,8 @@ func NewUDP(cfg UDPConfig) (*UDP, error) {
 		u.addrs[gi].Store(conn.LocalAddr().(*net.UDPAddr))
 		u.conns = append(u.conns, conn)
 		u.connOf[gi] = conn
-		for id := g.Lo; id < g.Hi; id++ {
-			u.queues[id] = make(chan any, cfg.QueueCapacity)
-		}
+		u.batchQ[gi] = make(chan batchItem, cfg.QueueCapacity)
 	}
-	// Readers start only after every local group's queues exist: they
-	// read the queue map concurrently, so it must be complete (and
-	// frozen) first.
 	for _, conn := range u.conns {
 		u.wg.Add(1)
 		go u.reader(conn)
@@ -166,22 +183,7 @@ func NewUDPLoopback(hosts, groups, queueCapacity int) (*UDP, error) {
 	if hosts <= 0 {
 		return nil, fmt.Errorf("transport: hosts must be positive, got %d", hosts)
 	}
-	if groups <= 0 {
-		groups = 1
-	}
-	if groups > hosts {
-		groups = hosts
-	}
-	cfg := UDPConfig{QueueCapacity: queueCapacity}
-	for g := 0; g < groups; g++ {
-		cfg.Groups = append(cfg.Groups, Group{
-			Lo:   gossip.NodeID(g * hosts / groups),
-			Hi:   gossip.NodeID((g + 1) * hosts / groups),
-			Addr: "127.0.0.1:0",
-		})
-		cfg.Local = append(cfg.Local, g)
-	}
-	return NewUDP(cfg)
+	return NewUDP(WithLoopbackGroups(hosts, groups), WithQueueCapacity(queueCapacity))
 }
 
 // GroupAddr returns the group's resolved UDP address ("" if unknown) —
@@ -277,12 +279,39 @@ func (u *UDP) reader(conn *net.UDPConn) {
 			}
 			continue
 		}
-		h, payload, err := decodeEnvelope(buf[:n])
+		h, rest, err := wire.DecodeHeader(buf[:n])
 		if err != nil {
 			u.dropped.Add(1)
 			continue
 		}
-		q := u.queues[gossip.NodeID(h.To)]
+		if h.Kind == kindColumnarBatch {
+			// Batch datagram: To is the destination group, From the
+			// message count. The body moves to a pooled buffer whole;
+			// the columnar live path decodes it at drain time.
+			var q chan batchItem
+			if int(h.To) < len(u.batchQ) {
+				q = u.batchQ[h.To]
+			}
+			if q == nil {
+				u.dropped.Add(int64(h.From))
+				continue
+			}
+			bp := u.bufs.Get().(*[]byte)
+			*bp = append((*bp)[:0], rest...)
+			select {
+			case q <- batchItem{buf: bp, msgs: int(h.From)}:
+			default:
+				u.bufs.Put(bp)
+				u.dropped.Add(int64(h.From))
+			}
+			continue
+		}
+		_, payload, err := decodePayload(h, rest)
+		if err != nil {
+			u.dropped.Add(1)
+			continue
+		}
+		q := u.hostQueues()[gossip.NodeID(h.To)]
 		if q == nil {
 			u.dropped.Add(1)
 			continue
@@ -295,9 +324,103 @@ func (u *UDP) reader(conn *net.UDPConn) {
 	}
 }
 
+// BatchGroups implements Batcher: the socket groups double as batch
+// groups.
+func (u *UDP) BatchGroups() int { return len(u.cfg.Groups) }
+
+// BatchGroup implements Batcher.
+func (u *UDP) BatchGroup(g int) (lo, hi gossip.NodeID) {
+	return u.cfg.Groups[g].Lo, u.cfg.Groups[g].Hi
+}
+
+// MaxBatchBody implements Batcher: MaxDatagram minus worst-case
+// framing.
+func (u *UDP) MaxBatchBody() int {
+	max := u.cfg.MaxDatagram
+	if max > maxUDPPayload {
+		max = maxUDPPayload
+	}
+	return max - maxBatchHeader
+}
+
+// SendBatch implements Batcher: one datagram carrying a whole shard's
+// wave to one destination group — header (kind, group, message count,
+// tick) plus the opaque record body — written from the destination
+// group's own socket when it is local (spreading loopback write
+// contention), any local socket otherwise. Failure modes are counted
+// drops of all msgs messages, mirroring Send.
+func (u *UDP) SendBatch(group, tick, msgs int, body []byte) bool {
+	if u.closed.Load() || group < 0 || group >= len(u.cfg.Groups) || len(body) > u.MaxBatchBody() {
+		u.dropped.Add(int64(msgs))
+		return false
+	}
+	addr := u.addrs[group].Load()
+	if addr == nil {
+		u.dropped.Add(int64(msgs))
+		return false
+	}
+	conn := u.connOf[group]
+	if conn == nil {
+		conn = u.conns[0]
+	}
+	bp := u.bufs.Get().(*[]byte)
+	buf := wire.AppendHeader((*bp)[:0], wire.Header{
+		Kind: kindColumnarBatch, To: int32(group), From: int32(msgs), Tick: int32(tick),
+	})
+	buf = append(buf, body...)
+	_, err := conn.WriteToUDP(buf, addr)
+	*bp = buf
+	u.bufs.Put(bp)
+	if err != nil {
+		u.dropped.Add(int64(msgs))
+		return false
+	}
+	u.sent.Add(int64(msgs))
+	return true
+}
+
+// DrainBatch implements Batcher.
+func (u *UDP) DrainBatch(group int, fn func(body []byte)) {
+	if group < 0 || group >= len(u.batchQ) || u.batchQ[group] == nil {
+		return
+	}
+	for {
+		select {
+		case it := <-u.batchQ[group]:
+			fn(*it.buf)
+			u.bufs.Put(it.buf)
+		default:
+			return
+		}
+	}
+}
+
+// hostQueues returns the per-host inbox map — one buffered channel per
+// local-group host — building it on first use. The lazy build keeps
+// the batch-only columnar path from paying gigabytes for a plane it
+// never touches; classic engines hit Drain on their first tick, so for
+// them the plane exists microseconds into Run (a datagram landing even
+// before that is dropped, which at-most-once delivery already allows).
+func (u *UDP) hostQueues() map[gossip.NodeID]chan any {
+	if m := u.hostQ.Load(); m != nil {
+		return *m
+	}
+	u.hostQOnce.Do(func() {
+		m := make(map[gossip.NodeID]chan any)
+		for _, gi := range u.cfg.Local {
+			g := u.cfg.Groups[gi]
+			for id := g.Lo; id < g.Hi; id++ {
+				m[id] = make(chan any, u.cfg.QueueCapacity)
+			}
+		}
+		u.hostQ.Store(&m)
+	})
+	return *u.hostQ.Load()
+}
+
 // Drain implements Transport.
 func (u *UDP) Drain(id gossip.NodeID, fn func(payload any)) {
-	q := u.queues[id]
+	q := u.hostQueues()[id]
 	if q == nil {
 		return
 	}

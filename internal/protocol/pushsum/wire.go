@@ -1,0 +1,33 @@
+package pushsum
+
+import (
+	"dynagg/internal/gossip"
+	"dynagg/internal/wire"
+)
+
+// WireKindPushSum tags Push-Sum records in live columnar batches.
+const WireKindPushSum uint8 = 1
+
+// WireKind implements the live engine's ColumnarProtocol wire hooks.
+func (c *Columnar) WireKind() uint8 { return WireKindPushSum }
+
+// AppendWire appends message m's payload — its (w, v) mass, 16 fixed
+// bytes — straight from the emission column.
+func (c *Columnar) AppendWire(dst []byte, m gossip.ColMsg) []byte {
+	return wire.AppendMass(dst, m.Mass.W, m.Mass.V)
+}
+
+// DeliverWire folds one received mass into host to's inbox columns —
+// the columnar Deliver, off the wire. Mass folding commutes, so
+// records arriving ticks late (or never) only shrink the in-flight
+// mass proportionally; that is exactly the asynchrony Push-Sum
+// tolerates.
+func (c *Columnar) DeliverWire(to gossip.NodeID, src []byte) ([]byte, error) {
+	w, v, rest, err := wire.DecodeMass(src)
+	if err != nil {
+		return nil, err
+	}
+	c.inW[to] += w
+	c.inV[to] += v
+	return rest, nil
+}

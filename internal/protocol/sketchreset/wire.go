@@ -1,0 +1,39 @@
+package sketchreset
+
+import (
+	"dynagg/internal/gossip"
+	"dynagg/internal/wire"
+)
+
+// WireKindSketchReset tags Count-Sketch-Reset records in live columnar
+// batches.
+const WireKindSketchReset uint8 = 4
+
+// WireKind implements the live engine's ColumnarProtocol wire hooks.
+func (c *Columnar) WireKind() uint8 { return WireKindSketchReset }
+
+// AppendWire appends message m's payload: the run-length encoding of
+// the emitter's start-of-round age matrix. In-process columnar runs
+// carry no payload at all (Deliver reads the shadow block directly),
+// but across a transport the matrix must travel — this is the classic
+// path's snapshot payload, RLE'd per the paper's §IV-B sizes.
+//
+// The read of shadow[m.From] is only valid in the emitting shard's own
+// tick, immediately after EmitRange snapshotted it — exactly when the
+// live engine calls AppendWire.
+func (c *Columnar) AppendWire(dst []byte, m gossip.ColMsg) []byte {
+	from := int(m.From)
+	return wire.AppendCounters(dst, c.shadow[from*c.stride:(from+1)*c.stride])
+}
+
+// DeliverWire min-merges one received matrix straight into host to's
+// live block — wire.DecodeCountersMin is DeliverFrom with the wire as
+// the source, no intermediate matrix. to's owned indices are pinned to
+// zero and a min can never raise them, so no re-pin is needed; a
+// record delayed in flight carries ages a few ticks stale, which only
+// weakens its min contribution (the same grace the classic queue gives
+// payloads).
+func (c *Columnar) DeliverWire(to gossip.NodeID, src []byte) ([]byte, error) {
+	dst := c.counters[int(to)*c.stride : (int(to)+1)*c.stride]
+	return wire.DecodeCountersMin(dst, src)
+}

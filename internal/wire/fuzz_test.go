@@ -113,3 +113,45 @@ func FuzzDecodeMass(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeCountersMin cross-checks the in-place min-merge against
+// the plain decoder: on accepted input the merged block must be the
+// element-wise minimum of the prior block and the decoded values, and
+// on ANY input — accepted or not — the merge must never raise a
+// counter (the monotonicity that makes partial merges on malformed
+// batches safe).
+func FuzzDecodeCountersMin(f *testing.F) {
+	f.Add(AppendCounters(nil, []uint8{0, 9, 3, 255, 1, 2}))
+	f.Add(AppendCounters(nil, make([]uint8, 64*24)))
+	f.Add([]byte{6, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 64 * 24
+		prior := make([]uint8, n)
+		for i := range prior {
+			prior[i] = uint8(i * 37)
+		}
+		merged := append([]uint8(nil), prior...)
+		_, minErr := DecodeCountersMin(merged, data)
+		for i := range merged {
+			if merged[i] > prior[i] {
+				t.Fatalf("index %d raised: %d -> %d", i, prior[i], merged[i])
+			}
+		}
+		if minErr != nil {
+			return
+		}
+		values := make([]uint8, n)
+		if _, err := DecodeCounters(values, data); err != nil {
+			t.Fatalf("DecodeCounters rejected input DecodeCountersMin accepted: %v", err)
+		}
+		for i := range merged {
+			want := prior[i]
+			if values[i] < want {
+				want = values[i]
+			}
+			if merged[i] != want {
+				t.Fatalf("index %d: got %d, want min(%d,%d)", i, merged[i], prior[i], values[i])
+			}
+		}
+	})
+}

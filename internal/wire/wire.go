@@ -121,6 +121,51 @@ func DecodeCounters(dst []uint8, src []byte) (rest []byte, err error) {
 	return src, nil
 }
 
+// DecodeCountersMin parses a run-length-encoded counter matrix and
+// folds it into dst with an element-wise minimum instead of assigning
+// — the gossip merge every age-matrix protocol performs on receipt,
+// applied straight off the wire with no intermediate matrix. dst must
+// have the exact encoded length. On a malformed encoding the runs
+// decoded before the error have already been merged; a min-fold is
+// monotone, so a partial merge leaves dst in a state some shorter
+// valid message could have produced and the caller may simply drop
+// the rest.
+func DecodeCountersMin(dst []uint8, src []byte) (rest []byte, err error) {
+	total, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, fmt.Errorf("wire: counters: bad element count")
+	}
+	if int(total) != len(dst) {
+		return nil, fmt.Errorf("wire: counters: got %d elements, want %d", total, len(dst))
+	}
+	src = src[n:]
+	at := 0
+	for at < len(dst) {
+		run, n := binary.Uvarint(src)
+		if n <= 0 {
+			return nil, fmt.Errorf("wire: counters: bad run length at element %d", at)
+		}
+		src = src[n:]
+		if len(src) < 1 {
+			return nil, fmt.Errorf("wire: counters: missing run value at element %d", at)
+		}
+		v := src[0]
+		src = src[1:]
+		// Compare in uint64 so an adversarial run length cannot wrap
+		// int and slip past the bound.
+		if run == 0 || run > uint64(len(dst)-at) {
+			return nil, fmt.Errorf("wire: counters: run %d overflows matrix at element %d", run, at)
+		}
+		for k := 0; k < int(run); k++ {
+			if v < dst[at+k] {
+				dst[at+k] = v
+			}
+		}
+		at += int(run)
+	}
+	return src, nil
+}
+
 // DecodeCountersAlloc parses a run-length-encoded counter matrix whose
 // size is not known in advance (a network datagram rather than a
 // preconfigured sketch), allocating the result. maxElements bounds the
