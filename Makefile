@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race bench bench-json bench-1m bench-live-1m fmt vet vuln ci live-soak fuzz-smoke
+.PHONY: build examples test race bench bench-json bench-1m bench-live-1m bench-gate fmt vet vuln ci live-soak cluster-soak fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -69,6 +69,19 @@ bench-live-1m:
 	done; \
 	cat $$files | $(GO) run ./cmd/benchjson -o BENCH_results.json
 
+# Perf-gate benchmark sample: the n=10000 BenchmarkEngine matrix at a
+# fixed iteration count, six times, so cmd/benchgate has a multi-sample
+# median on both sides of a PR. Fixed -benchtime=100x (not a time
+# budget) keeps base and head measuring identical work, and 100
+# iterations per sample is what makes the rows gate-eligible (benchgate
+# exempts single-iteration rows as directional). The CI bench job runs
+# this twice — once on the PR head, once on the merge base — and fails
+# the build when the gate trips.
+bench-gate:
+	$(GO) test -bench='BenchmarkEngine/n=10000$$' -benchtime=100x -count=6 -run='^$$' -timeout=20m ./internal/gossip > BENCH_gate_raw.txt || { cat BENCH_gate_raw.txt >&2; exit 1; }
+	@cat BENCH_gate_raw.txt
+	$(GO) run ./cmd/benchjson -o BENCH_gate.json BENCH_gate_raw.txt
+
 # Transport/live-engine soak: the concurrency-heavy tests (goroutine
 # drivers, UDP readers, loss injection) twice under the race detector
 # with a generous timeout, in their own CI lane so `make ci` stays
@@ -84,15 +97,34 @@ live-soak:
 	$(GO) test -race -count=2 -timeout 15m -run 'Live|Transport|Batch|Lossy|UDP' ./internal/gossip/live/...
 	$(GO) test -race -count=2 -timeout 15m -run 'Columnar' ./internal/gossip ./internal/experiments
 
+# Multi-process cluster soak: the three-OS-process TCP bootstrap
+# example under the race detector (each member process is itself a
+# race-built binary), then the TCP transport and bootstrap test
+# surface — connection cache, reconnect, frame scanner, membership,
+# span registration — twice under race. This is the lane that proves
+# the stream transport's concurrency story end to end: real listeners,
+# real dials, real process boundaries.
+cluster-soak:
+	$(GO) run -race ./examples/live_cluster
+	$(GO) test -race -count=2 -timeout 10m -run 'TCP|Bootstrap|FrameScanner|Membership|Announce' ./internal/gossip/live/...
+
 # Native Go fuzzing smoke pass: 10 seconds per wire decoder, enough to
 # shake out the easy crashes on every push (a socket feeds these
 # decoders attacker-controllable bytes). Seed corpora always run via
-# `go test`; this adds fresh mutation time.
-FUZZ_TARGETS = FuzzDecodeCounters FuzzDecodeCountersMin FuzzDecodeCandidates FuzzDecodeHeader FuzzDecodeSketchBits FuzzDecodeMass
+# `go test`; this adds fresh mutation time. FuzzDecodeFrame covers the
+# TCP length-prefix framing; FuzzFrameScanner (in the transport
+# package) feeds the stream reassembly path adversarially chunked
+# frames and cross-checks it against the one-shot decoder.
+FUZZ_TARGETS = FuzzDecodeCounters FuzzDecodeCountersMin FuzzDecodeCandidates FuzzDecodeHeader FuzzDecodeSketchBits FuzzDecodeMass FuzzDecodeFrame
+TRANSPORT_FUZZ_TARGETS = FuzzFrameScanner
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
 		echo "fuzz $$t"; \
 		$(GO) test ./internal/wire -run='^$$' -fuzz="$$t\$$" -fuzztime=10s || exit 1; \
+	done
+	@for t in $(TRANSPORT_FUZZ_TARGETS); do \
+		echo "fuzz $$t"; \
+		$(GO) test ./internal/gossip/live/transport -run='^$$' -fuzz="$$t\$$" -fuzztime=10s || exit 1; \
 	done
 
 fmt:

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Doc and Benchmark mirror cmd/benchjson's output document (package
+// main can't be imported, and the four fields the gate reads are a
+// stable artifact format CI archives anyway).
+type Doc struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one result row of a benchjson document.
+type Benchmark struct {
+	Package    string             `json:"package,omitempty"`
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Row is the gate's verdict on one benchmark: the medians it compared
+// and why it did or did not enforce the threshold.
+type Row struct {
+	Key        string  // package + name
+	Base, Head float64 // median metric values (NaN when absent)
+	Delta      float64 // (head-base)/base, NaN when not comparable
+	Status     string  // human-readable verdict
+	Failed     bool    // true: this row regressed past the threshold
+}
+
+// minGatedIterations is the iteration floor below which a sample is
+// treated as directional only: a benchtime=1x row (the 1M
+// million-host configuration, live-run benchline rows) measures a
+// single cold iteration, and single-shot timings on a shared CI
+// runner swing far past any useful threshold. A key is gated only
+// when base AND head both retain at least one multi-iteration sample.
+const minGatedIterations = 2
+
+// samplesByKey groups a document's rows by (package, name), keeping
+// only samples that carry the gated metric.
+func samplesByKey(d Doc, metric string) map[string][]Benchmark {
+	m := make(map[string][]Benchmark)
+	for _, b := range d.Benchmarks {
+		if _, ok := b.Metrics[metric]; !ok {
+			continue
+		}
+		key := b.Name
+		if b.Package != "" {
+			key = b.Package + " " + b.Name
+		}
+		m[key] = append(m[key], b)
+	}
+	return m
+}
+
+// median returns the median of the metric across samples, or NaN on
+// an empty slice. The median (not the mean) absorbs the occasional
+// scheduler hiccup in a -count series.
+func median(samples []Benchmark, metric string) float64 {
+	vals := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		vals = append(vals, s.Metrics[metric])
+	}
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(vals)
+	if n := len(vals); n%2 == 1 {
+		return vals[n/2]
+	} else {
+		return (vals[n/2-1] + vals[n/2]) / 2
+	}
+}
+
+// multiIter filters a sample set down to the rows solid enough to
+// gate on (see minGatedIterations).
+func multiIter(samples []Benchmark) []Benchmark {
+	var out []Benchmark
+	for _, s := range samples {
+		if s.Iterations >= minGatedIterations {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Gate compares head against base and returns one row per benchmark
+// present in head, sorted by key, plus whether any row failed. A row
+// fails when its median regresses by more than threshold AND both
+// sides have multi-iteration samples to stand on; new benchmarks and
+// directional-only rows are reported but exempt.
+func Gate(base, head Doc, metric string, threshold float64) ([]Row, bool) {
+	baseBy := samplesByKey(base, metric)
+	headBy := samplesByKey(head, metric)
+
+	keys := make([]string, 0, len(headBy))
+	for k := range headBy {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var rows []Row
+	failed := false
+	for _, key := range keys {
+		headAll := headBy[key]
+		baseAll, inBase := baseBy[key]
+		r := Row{Key: key, Base: math.NaN(), Head: math.NaN(), Delta: math.NaN()}
+		baseGated, headGated := multiIter(baseAll), multiIter(headAll)
+		switch {
+		case !inBase:
+			r.Head = median(headAll, metric)
+			r.Status = "new benchmark (exempt)"
+		case len(baseGated) == 0 || len(headGated) == 0:
+			// Compare what's there so the table stays informative, but
+			// a single-iteration timing never fails the build.
+			r.Base, r.Head = median(baseAll, metric), median(headAll, metric)
+			r.Delta = (r.Head - r.Base) / r.Base
+			r.Status = "directional only (single-iteration samples, exempt)"
+		default:
+			r.Base, r.Head = median(baseGated, metric), median(headGated, metric)
+			r.Delta = (r.Head - r.Base) / r.Base
+			if r.Delta > threshold {
+				r.Status = fmt.Sprintf("REGRESSION (>%+.0f%%)", 100*threshold)
+				r.Failed = true
+				failed = true
+			} else {
+				r.Status = "ok"
+			}
+		}
+		rows = append(rows, r)
+	}
+	return rows, failed
+}

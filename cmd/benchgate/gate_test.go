@@ -1,0 +1,136 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func bench(name string, iters int64, nsOp float64) Benchmark {
+	return Benchmark{
+		Package: "dynagg/internal/gossip", Name: name, Procs: 1,
+		Iterations: iters, Metrics: map[string]float64{"ns/op": nsOp},
+	}
+}
+
+func doc(bs ...Benchmark) Doc { return Doc{Benchmarks: bs} }
+
+func findRow(t *testing.T, rows []Row, key string) Row {
+	t.Helper()
+	for _, r := range rows {
+		if r.Key == key {
+			return r
+		}
+	}
+	t.Fatalf("no row for %q in %+v", key, rows)
+	return Row{}
+}
+
+const key = "dynagg/internal/gossip BenchmarkEngine/n=10000/push/workers=0"
+
+// TestGateFailsOnSlowedBenchmark is the gate's reason to exist: a row
+// 25% slower than base must fail a 10% threshold.
+func TestGateFailsOnSlowedBenchmark(t *testing.T) {
+	base := doc(bench("BenchmarkEngine/n=10000/push/workers=0", 100, 1000))
+	head := doc(bench("BenchmarkEngine/n=10000/push/workers=0", 100, 1250))
+	rows, failed := Gate(base, head, "ns/op", 0.10)
+	if !failed {
+		t.Fatal("a 25% regression passed a 10% gate")
+	}
+	r := findRow(t, rows, key)
+	if !r.Failed {
+		t.Errorf("row not marked failed: %+v", r)
+	}
+	if math.Abs(r.Delta-0.25) > 1e-9 {
+		t.Errorf("delta = %v, want 0.25", r.Delta)
+	}
+}
+
+// TestGatePassesWithinThreshold: an 8% slide is under the 10% line.
+func TestGatePassesWithinThreshold(t *testing.T) {
+	base := doc(bench("BenchmarkEngine/n=10000/push/workers=0", 100, 1000))
+	head := doc(bench("BenchmarkEngine/n=10000/push/workers=0", 100, 1080))
+	if _, failed := Gate(base, head, "ns/op", 0.10); failed {
+		t.Fatal("an 8% delta failed a 10% gate")
+	}
+}
+
+// TestGatePassesOnImprovement: faster is never a failure.
+func TestGatePassesOnImprovement(t *testing.T) {
+	base := doc(bench("BenchmarkEngine/n=10000/push/workers=0", 100, 1000))
+	head := doc(bench("BenchmarkEngine/n=10000/push/workers=0", 100, 500))
+	rows, failed := Gate(base, head, "ns/op", 0.10)
+	if failed {
+		t.Fatal("a 2x improvement failed the gate")
+	}
+	if r := findRow(t, rows, key); r.Status != "ok" {
+		t.Errorf("status = %q, want ok", r.Status)
+	}
+}
+
+// TestGateExemptsSingleIterationSamples: benchtime=1x rows (the 1M
+// configuration) are directional only — even a 3x slowdown must not
+// fail the build.
+func TestGateExemptsSingleIterationSamples(t *testing.T) {
+	base := doc(bench("BenchmarkEngine/n=1000000/push/columnar", 1, 1e9))
+	head := doc(bench("BenchmarkEngine/n=1000000/push/columnar", 1, 3e9))
+	rows, failed := Gate(base, head, "ns/op", 0.10)
+	if failed {
+		t.Fatal("a single-iteration sample failed the gate")
+	}
+	r := findRow(t, rows, "dynagg/internal/gossip BenchmarkEngine/n=1000000/push/columnar")
+	if r.Failed {
+		t.Errorf("row marked failed: %+v", r)
+	}
+	// Still reported directionally: the table shows the 3x delta.
+	if math.IsNaN(r.Delta) {
+		t.Error("directional row lost its delta")
+	}
+}
+
+// TestGateExemptsNewBenchmark: a benchmark absent from base has
+// nothing to regress from.
+func TestGateExemptsNewBenchmark(t *testing.T) {
+	base := doc(bench("BenchmarkEngine/n=10000/push/workers=0", 100, 1000))
+	head := doc(
+		bench("BenchmarkEngine/n=10000/push/workers=0", 100, 1000),
+		bench("BenchmarkEngine/n=10000/tcp/new", 100, 5000),
+	)
+	rows, failed := Gate(base, head, "ns/op", 0.10)
+	if failed {
+		t.Fatal("a new benchmark failed the gate")
+	}
+	r := findRow(t, rows, "dynagg/internal/gossip BenchmarkEngine/n=10000/tcp/new")
+	if r.Status != "new benchmark (exempt)" {
+		t.Errorf("status = %q", r.Status)
+	}
+}
+
+// TestGateMedianAbsorbsOutlier: one scheduler hiccup in a -count
+// series must not fail the gate — the median is compared, not the
+// worst sample.
+func TestGateMedianAbsorbsOutlier(t *testing.T) {
+	name := "BenchmarkEngine/n=10000/push/workers=0"
+	base := doc(bench(name, 100, 1000), bench(name, 100, 1010), bench(name, 100, 1020))
+	head := doc(bench(name, 100, 1030), bench(name, 100, 2500), bench(name, 100, 1040))
+	rows, failed := Gate(base, head, "ns/op", 0.10)
+	if failed {
+		t.Fatalf("median gate failed on a single outlier: %+v", rows)
+	}
+	r := findRow(t, rows, key)
+	if r.Head != 1040 {
+		t.Errorf("head median = %v, want 1040", r.Head)
+	}
+}
+
+// TestGateMixedIterationSamples: single-iteration rows in a series
+// that also has solid samples are simply excluded from the gated
+// median rather than exempting the whole benchmark.
+func TestGateMixedIterationSamples(t *testing.T) {
+	name := "BenchmarkEngine/n=10000/push/workers=0"
+	base := doc(bench(name, 100, 1000), bench(name, 1, 9000))
+	head := doc(bench(name, 100, 1300), bench(name, 1, 900))
+	_, failed := Gate(base, head, "ns/op", 0.10)
+	if !failed {
+		t.Fatal("a 30% regression hid behind a single-iteration sample")
+	}
+}

@@ -1,0 +1,97 @@
+// Command benchgate turns the CI bench lane's benchstat commentary
+// into a hard perf-regression gate: it compares two cmd/benchjson
+// documents — the PR head's benchmark run against the base branch's —
+// and exits nonzero when a benchmark's median regresses past the
+// threshold, so a pull request that slows the engine down fails
+// instead of merging with a comment nobody read.
+//
+// Usage:
+//
+//	benchgate -base BENCH_base.json -head BENCH_head.json [-threshold 0.10] [-metric ns/op]
+//
+// Gating rules (see Gate):
+//
+//   - Samples are grouped by (package, benchmark name); the median
+//     across a -count series is compared, which absorbs one-off
+//     scheduler hiccups without hiding a real slide.
+//   - Only benchmarks where BOTH sides have at least one sample with
+//     >= 2 iterations are enforced. benchtime=1x rows (the 1M
+//     million-host configuration) time a single cold iteration and are
+//     reported as directional only.
+//   - Benchmarks new in head are reported but exempt — there is
+//     nothing to regress from.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+func main() {
+	basePath := flag.String("base", "", "benchjson document of the base branch (required)")
+	headPath := flag.String("head", "", "benchjson document of the PR head (required)")
+	threshold := flag.Float64("threshold", 0.10, "fail when the median regresses by more than this fraction")
+	metric := flag.String("metric", "ns/op", "metric to gate on")
+	flag.Parse()
+	if *basePath == "" || *headPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -base and -head are required")
+		os.Exit(2)
+	}
+
+	base, err := load(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	head, err := load(*headPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	rows, failed := Gate(base, head, *metric, *threshold)
+	fmt.Printf("benchgate: %s, threshold %+.0f%%\n\n", *metric, 100**threshold)
+	fmt.Printf("%-72s %14s %14s %8s  %s\n", "benchmark", "base", "head", "delta", "verdict")
+	for _, r := range rows {
+		fmt.Printf("%-72s %14s %14s %8s  %s\n",
+			r.Key, num(r.Base), num(r.Head), pct(r.Delta), r.Status)
+	}
+	if failed {
+		fmt.Printf("\nbenchgate: FAIL — a benchmark regressed past %+.0f%%\n", 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchgate: ok\n")
+}
+
+func load(path string) (Doc, error) {
+	var d Doc
+	f, err := os.Open(path)
+	if err != nil {
+		return d, err
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(&d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+func num(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+func pct(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,7 +26,7 @@ import (
 type liveOpts struct {
 	protocol  string // pushsum | revert | sketchreset
 	backend   string // agents | columnar
-	transport string // chan | udp
+	transport string // chan | udp | tcp
 	loss      float64
 	wan       string // canned WAN preset name, or ""
 	groups    int
@@ -34,8 +35,29 @@ type liveOpts struct {
 	ticks     int
 	workers   int
 	seed      uint64
-	rcvbuf    int  // SO_RCVBUF for UDP sockets; 0 = auto
-	benchline bool // also print a Benchmark-formatted summary line
+	rcvbuf    int    // SO_RCVBUF for UDP sockets; 0 = auto
+	benchline bool   // also print a Benchmark-formatted summary line
+	seeds     string // comma-separated TCP bootstrap seed addrs; "" = single process
+	span      string // this process's host range "lo:hi"; "" = full population
+	listen    string // TCP listen address for the span's group; "" = 127.0.0.1:0
+}
+
+// parseSpan parses the -span flag's "lo:hi" form against the
+// population size.
+func parseSpan(s string, n int) (live.Span, error) {
+	loS, hiS, ok := strings.Cut(s, ":")
+	if !ok {
+		return live.Span{}, fmt.Errorf("live: -span must be lo:hi, got %q", s)
+	}
+	lo, err1 := strconv.Atoi(strings.TrimSpace(loS))
+	hi, err2 := strconv.Atoi(strings.TrimSpace(hiS))
+	if err1 != nil || err2 != nil {
+		return live.Span{}, fmt.Errorf("live: -span must be lo:hi, got %q", s)
+	}
+	if lo < 0 || lo >= hi || hi > n {
+		return live.Span{}, fmt.Errorf("live: -span [%d,%d) outside population [0,%d)", lo, hi, n)
+	}
+	return live.Span{Lo: gossip.NodeID(lo), Hi: gossip.NodeID(hi)}, nil
 }
 
 // resolveLossTransport layers -wan / -loss over a base transport with
@@ -96,6 +118,35 @@ func runLive(out io.Writer, o liveOpts) error {
 	if o.transport == "" {
 		o.transport = "chan"
 	}
+	// TCP sends queue for an asynchronous writer goroutine, so a
+	// free-running agent population finishes its ticks before the first
+	// dial completes and most traffic drops on the outbox. Pace it like
+	// a deployed duty cycle by default (columnar drains batches inline
+	// per shard wave and keeps up unpaced).
+	if o.pace == 0 && o.transport == "tcp" && o.backend == "agents" {
+		o.pace = 4 * time.Millisecond
+	}
+
+	cluster := o.seeds != "" || o.span != ""
+	var span live.Span
+	if cluster {
+		if o.seeds == "" || o.span == "" {
+			return fmt.Errorf("live: -seeds and -span must be set together (each process announces its span to the shared seed list)")
+		}
+		if o.transport != "tcp" {
+			return fmt.Errorf("live: -seeds/-span require -transport=tcp (bootstrap is the TCP membership layer; UDP spans exchange addresses out of band)")
+		}
+		if o.backend == "columnar" {
+			return fmt.Errorf("live: the columnar backend drives the full population in one process; -seeds/-span need -backend=agents")
+		}
+		var err error
+		if span, err = parseSpan(o.span, o.n); err != nil {
+			return err
+		}
+	}
+	if o.listen != "" && o.transport != "tcp" {
+		return fmt.Errorf("live: -listen applies only to -transport=tcp")
+	}
 
 	u := env.NewUniform(o.n)
 	values := make([]float64, o.n)
@@ -138,6 +189,11 @@ func runLive(out io.Writer, o liveOpts) error {
 			truth = float64(o.n)
 		default:
 			return fmt.Errorf("live: unknown -protocol %q (pushsum, revert, sketchreset)", o.protocol)
+		}
+		if cluster {
+			// This process drives only its span; the other spans'
+			// agents live in the other processes of the deployment.
+			agents = agents[span.Lo:span.Hi]
 		}
 		pop = live.NewAgentPopulation(agents)
 	case "columnar":
@@ -193,8 +249,38 @@ func runLive(out io.Writer, o liveOpts) error {
 		}
 		defer udp.Close()
 		tr = udp
+	case "tcp":
+		queue := 0
+		if o.backend == "columnar" {
+			// Same headroom rationale as UDP: a columnar tick is one
+			// burst of whole-shard batch frames per group.
+			queue = 1024
+		}
+		var tcp *transport.TCP
+		var err error
+		if cluster {
+			listen := o.listen
+			if listen == "" {
+				listen = "127.0.0.1:0"
+			}
+			tcp, err = transport.NewTCP(
+				transport.WithGroups(transport.Group{Lo: span.Lo, Hi: span.Hi, Addr: listen}),
+				transport.WithLocal(0),
+				transport.WithQueueCapacity(queue),
+			)
+		} else {
+			tcp, err = transport.NewTCP(
+				transport.WithLoopbackGroups(o.n, o.groups),
+				transport.WithQueueCapacity(queue),
+			)
+		}
+		if err != nil {
+			return err
+		}
+		defer tcp.Close()
+		tr = tcp
 	default:
-		return fmt.Errorf("live: unknown -transport %q (chan, udp)", o.transport)
+		return fmt.Errorf("live: unknown -transport %q (chan, udp, tcp)", o.transport)
 	}
 	tr, injectedLoss, err := resolveLossTransport(tr, o.wan, o.loss, o.seed+1)
 	if err != nil {
@@ -204,10 +290,25 @@ func runLive(out io.Writer, o liveOpts) error {
 		defer lt.Close()
 	}
 
-	e, err := live.New(live.Config{
+	cfg := live.Config{
 		Env: u, Population: pop, Model: gossip.Push, Seed: o.seed,
 		Ticks: o.ticks, Workers: o.workers, Transport: tr, TickEvery: o.pace,
-	})
+	}
+	var selfAddr string
+	if cluster {
+		cfg.Span = span
+		var seeds []string
+		for _, s := range strings.Split(o.seeds, ",") {
+			seeds = append(seeds, strings.TrimSpace(s))
+		}
+		cfg.Bootstrap = &live.Bootstrap{Seeds: seeds, Span: span, Total: o.n}
+		// Our own group is table index 0 at construction, but merging a
+		// seed's membership can insert lower spans and shift it — so the
+		// listen address must be captured before Run bootstraps.
+		tcp, _ := transport.AsTCP(tr)
+		selfAddr = tcp.GroupAddr(0)
+	}
+	e, err := live.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -216,10 +317,20 @@ func runLive(out io.Writer, o liveOpts) error {
 	if o.wan != "" {
 		name += "+" + o.wan
 	}
+	lossNote := ""
+	if o.transport == "tcp" && injectedLoss > 0 {
+		// On a stream transport an injected "datagram loss" severs the
+		// carrying connection instead of silently dropping a frame.
+		lossNote = " (tcp: link-kill)"
+	}
 	fmt.Fprintf(out, "live config: protocol=%s backend=%s transport=%s n=%d ticks=%d groups=%d\n",
 		o.protocol, o.backend, name, o.n, o.ticks, o.groups)
-	fmt.Fprintf(out, "             loss=%.4f pace=%v workers=%d seed=%d rcvbuf=%d\n",
-		injectedLoss, o.pace, o.workers, o.seed, rcvbuf)
+	fmt.Fprintf(out, "             loss=%.4f%s pace=%v workers=%d seed=%d rcvbuf=%d\n",
+		injectedLoss, lossNote, o.pace, o.workers, o.seed, rcvbuf)
+	if cluster {
+		fmt.Fprintf(out, "bootstrap:   span [%d,%d) listening on %s  seeds %s\n",
+			span.Lo, span.Hi, selfAddr, o.seeds)
+	}
 
 	start := time.Now()
 	if err := e.Run(context.Background()); err != nil {
@@ -236,10 +347,25 @@ func runLive(out io.Writer, o liveOpts) error {
 		mean /= float64(len(ests))
 	}
 	rss := sysmem.PeakRSSBytes()
+	if tcp, ok := transport.AsTCP(tr); ok && cluster {
+		// The resolved view the bootstrap converged on: every span of
+		// the population and the address serving it.
+		fmt.Fprintf(out, "membership: ")
+		for i, g := range tcp.Groups() {
+			if i > 0 {
+				fmt.Fprintf(out, "  ")
+			}
+			fmt.Fprintf(out, "[%d,%d)@%s", g.Lo, g.Hi, g.Addr)
+		}
+		fmt.Fprintln(out)
+	}
 	fmt.Fprintf(out, "mean estimate %.4f  truth %.4f  rel.err %.2f%%\n",
 		mean, truth, 100*relErr(mean, truth))
 	fmt.Fprintf(out, "sent %d  dropped %d  elapsed %v  peak_rss_bytes %d\n",
 		e.Sent(), e.Dropped(), elapsed.Round(time.Millisecond), rss)
+	if tcp, ok := transport.AsTCP(tr); ok && injectedLoss > 0 {
+		fmt.Fprintf(out, "link kills %d (loss over tcp severs connections)\n", tcp.Kills())
+	}
 	if o.benchline {
 		// Benchmark-formatted so cmd/benchjson (and benchstat) ingest
 		// the run alongside the `go test -bench` rows.

@@ -25,16 +25,23 @@
 // Live engine (asynchronous, pluggable transport):
 //
 //	live   run a protocol on the live engine (-protocol pushsum|
-//	       revert|sketchreset) over a transport (-transport chan|udp)
-//	       on either population backend (-backend agents|columnar, or
-//	       the -columnar shorthand: per-host goroutine-safe agents vs.
-//	       the struct-of-arrays columns that scale to a million live
-//	       hosts), with optional injected loss (-loss 0.2) or a canned
-//	       WAN preset (-wan lan|3g|sat: loss+delay+jitter à la netem),
+//	       revert|sketchreset) over a transport (-transport
+//	       chan|udp|tcp) on either population backend (-backend
+//	       agents|columnar, or the -columnar shorthand: per-host
+//	       goroutine-safe agents vs. the struct-of-arrays columns that
+//	       scale to a million live hosts), with optional injected loss
+//	       (-loss 0.2) or a canned WAN preset (-wan lan|3g|sat:
+//	       loss+delay+jitter à la netem; over tcp a loss draw kills
+//	       the carrying connection instead of dropping a datagram),
 //	       socket/shard group count (-udp-groups 4), UDP receive
 //	       buffer (-rcvbuf bytes), wall-clock duty cycle (-pace 4ms),
 //	       tick count (-ticks 60), and -benchline to append a
-//	       Benchmark-formatted summary row for cmd/benchjson
+//	       Benchmark-formatted summary row for cmd/benchjson.
+//	       With -transport=tcp a process can join a multi-process
+//	       cluster: -span lo:hi names the host range it drives,
+//	       -listen its TCP address, and -seeds the shared seed list
+//	       every process bootstraps its membership from (see
+//	       live.Bootstrap and examples/live_cluster)
 //
 // Engine benchmark (the ROADMAP's million-host target):
 //
@@ -120,15 +127,18 @@ func run(args []string) error {
 	contacts := fs.Bool("contacts", false, "parse -in as a CRAWDAD contact table")
 	protocol := fs.String("protocol", "pushsum", "protocol for bench/live modes (bench: pushsum, revert, sketchreset, sketchcount, extremes, moments; live: pushsum, revert, sketchreset)")
 	benchModel := fs.String("model", "push", "bench gossip model: push or pushpull")
-	transportName := fs.String("transport", "chan", "live transport: chan (in-process channels) or udp (wire-encoded loopback datagrams)")
+	transportName := fs.String("transport", "chan", "live transport: chan (in-process channels), udp (wire-encoded loopback datagrams), or tcp (length-prefixed frames over cached connections)")
 	loss := fs.Float64("loss", 0, "live per-message drop probability injected over the transport")
 	wan := fs.String("wan", "", "live canned WAN preset layered over the transport: lan, 3g, or sat (loss+delay+jitter; mutually exclusive with -loss)")
-	groups := fs.Int("udp-groups", 4, "live UDP transport: host groups (= sockets)")
+	groups := fs.Int("udp-groups", 4, "live UDP/TCP loopback transports: host groups (= sockets/listeners)")
 	pace := fs.Duration("pace", 0, "live tick duty cycle; 0 = free-running (sketchreset defaults to 4ms)")
 	ticks := fs.Int("ticks", 0, "live ticks per host (default 60)")
 	backend := fs.String("backend", "", "live population backend: agents (default; per-host boxed agents) or columnar (dense struct-of-arrays columns; -columnar is shorthand)")
 	rcvbuf := fs.Int("rcvbuf", 0, "live UDP socket receive buffer in bytes; 0 = auto (4 MiB for the columnar backend)")
 	benchline := fs.Bool("benchline", false, "live: also print a Benchmark-formatted summary line (ns/tick, msgs/s, peak-rss-bytes) for cmd/benchjson")
+	seeds := fs.String("seeds", "", "live TCP bootstrap: comma-separated seed addresses shared by every process of the deployment (requires -span and -transport=tcp)")
+	spanFlag := fs.String("span", "", "live TCP bootstrap: this process's host range lo:hi of the -n population (requires -seeds)")
+	listen := fs.String("listen", "", "live TCP: listen address for this process's span; default 127.0.0.1:0 (a seed process must listen on its advertised seed address)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -137,6 +147,9 @@ func run(args []string) error {
 	// loss measurement.
 	if name != "live" && (*loss != 0 || *wan != "") {
 		return fmt.Errorf("%s: -loss and -wan apply only to the live experiment", name)
+	}
+	if name != "live" && (*seeds != "" || *spanFlag != "" || *listen != "") {
+		return fmt.Errorf("%s: -seeds, -span, and -listen apply only to the live experiment", name)
 	}
 
 	// Profiling wraps every mode, so the N=1M engine profile (or any
@@ -224,6 +237,7 @@ func run(args []string) error {
 			loss: *loss, wan: *wan, groups: *groups, pace: *pace, n: *n,
 			ticks: *ticks, workers: sc.Workers, seed: *seed,
 			rcvbuf: *rcvbuf, benchline: *benchline,
+			seeds: *seeds, span: *spanFlag, listen: *listen,
 		})
 	}
 
@@ -412,9 +426,10 @@ engine bench: bench [-protocol pushsum|revert|sketchreset|sketchcount|extremes|m
              [-n N (default 1,000,000)] [-rounds R] [-workers W] [-seed S]
 live engine: live [-protocol pushsum|revert|sketchreset]
              [-backend agents|columnar | -columnar]
-             [-transport chan|udp] [-loss P | -wan lan|3g|sat]
+             [-transport chan|udp|tcp] [-loss P | -wan lan|3g|sat]
              [-udp-groups G] [-rcvbuf BYTES] [-pace DUR] [-ticks T]
              [-n N] [-workers W] [-seed S] [-benchline]
+             [-span LO:HI -seeds ADDRS [-listen ADDR]]  (tcp cluster member)
 trace tools: trace-gen [-dataset D] [-o FILE]
              trace-info -in FILE [-contacts]`)
 }

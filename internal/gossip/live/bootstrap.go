@@ -1,0 +1,160 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"dynagg/internal/gossip/live/transport"
+)
+
+// Bootstrap is the membership configuration for a multi-process Span
+// deployment over TCP: instead of a parent process shuttling ephemeral
+// addresses between children over stdio (the examples/live_udp
+// handshake), every process is told the same static seed list, then
+// announces its own [Lo,Hi) span and listen address to each seed and
+// retries until the full population is mapped. Seeds accumulate the
+// announcements, so any process that can reach one live seed learns
+// everyone — and a process that starts before its seed simply retries
+// into the void until the seed is up.
+type Bootstrap struct {
+	// Seeds are the TCP addresses to announce to. Every process of the
+	// deployment should use the same list; a seed process lists its own
+	// address (announcing to yourself is a no-op that still returns the
+	// table). At least one seed is required.
+	Seeds []string
+	// Span is this process's host range, and must equal Config.Span.
+	Span Span
+	// Total is the full population size the bootstrap waits to see
+	// mapped; it must equal the environment size.
+	Total int
+	// Retry paces the announce loop (0 means 250ms).
+	Retry time.Duration
+	// Timeout bounds the whole bootstrap (0 means 30s). On expiry Run
+	// reports the groups seen so far, naming what is missing.
+	Timeout time.Duration
+}
+
+// DefaultBootstrapRetry and DefaultBootstrapTimeout fill the zero
+// fields of Bootstrap.
+const (
+	DefaultBootstrapRetry   = 250 * time.Millisecond
+	DefaultBootstrapTimeout = 30 * time.Second
+)
+
+// Validate reports whether the bootstrap configuration is usable.
+func (b *Bootstrap) Validate() error {
+	if len(b.Seeds) == 0 {
+		return fmt.Errorf("live: Bootstrap.Seeds is empty")
+	}
+	for i, s := range b.Seeds {
+		if strings.TrimSpace(s) == "" {
+			return fmt.Errorf("live: Bootstrap.Seeds[%d] is empty", i)
+		}
+	}
+	if b.Span == (Span{}) {
+		return fmt.Errorf("live: Bootstrap.Span is zero; bootstrap is for partial (Span) engines")
+	}
+	if b.Span.Lo < 0 || b.Span.Lo >= b.Span.Hi {
+		return fmt.Errorf("live: Bootstrap.Span [%d,%d) is empty", b.Span.Lo, b.Span.Hi)
+	}
+	if b.Total < int(b.Span.Hi) {
+		return fmt.Errorf("live: Bootstrap.Total %d does not contain span [%d,%d)", b.Total, b.Span.Lo, b.Span.Hi)
+	}
+	if b.Retry < 0 || b.Timeout < 0 {
+		return fmt.Errorf("live: Bootstrap.Retry and Timeout must be >= 0")
+	}
+	return nil
+}
+
+// Run announces this process's span to every seed and blocks until the
+// transport's membership table covers [0, Total), the context is
+// cancelled, or the timeout expires. It is idempotent: re-running on a
+// complete table returns immediately.
+//
+// A span conflict (another process owns our range, or overlapping
+// registrations) is fatal and returned immediately; every other
+// announce failure — seed not up yet, connection refused, timeout — is
+// retried, which is exactly what a late-starting seed looks like.
+func (b *Bootstrap) Run(ctx context.Context, tr *transport.TCP) error {
+	retry := b.Retry
+	if retry <= 0 {
+		retry = DefaultBootstrapRetry
+	}
+	timeout := b.Timeout
+	if timeout <= 0 {
+		timeout = DefaultBootstrapTimeout
+	}
+	self := ""
+	for _, g := range tr.Groups() {
+		if g.Lo == b.Span.Lo && g.Hi == b.Span.Hi {
+			self = g.Addr
+		}
+	}
+	if self == "" {
+		return fmt.Errorf("live: bootstrap span [%d,%d) is not a listening group of the transport",
+			b.Span.Lo, b.Span.Hi)
+	}
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	var nextAnnounce time.Time // zero: announce immediately
+	for {
+		if !time.Now().Before(nextAnnounce) {
+			for _, seed := range b.Seeds {
+				if seed == self {
+					continue // our own listener already knows us
+				}
+				err := tr.Announce(seed, b.Span.Lo, b.Span.Hi, self)
+				if errors.Is(err, transport.ErrSpanConflict) {
+					return fmt.Errorf("live: bootstrap: %w", err)
+				}
+				if err != nil {
+					lastErr = err
+				}
+			}
+			nextAnnounce = time.Now().Add(retry)
+		}
+		if tr.Covers(b.Total) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("live: bootstrap timed out after %v with %s (last announce error: %v)",
+				timeout, describeCoverage(tr, b.Total), lastErr)
+		}
+		// Coverage can complete between announces — a seed process never
+		// announces at all; its table fills as the joiners' announces
+		// arrive — so poll it much finer than the announce retry.
+		// Otherwise a seed sits out up to a whole retry period after the
+		// last joiner registers, and in a paced deployment that skew is
+		// dozens of ticks the others spend gossiping without it.
+		wait := retry
+		if poll := 5 * time.Millisecond; poll < wait {
+			wait = poll
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+}
+
+// describeCoverage renders the known membership for timeout errors.
+func describeCoverage(tr *transport.TCP, total int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "groups covering ")
+	groups := tr.Groups()
+	for i, g := range groups {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "[%d,%d)", g.Lo, g.Hi)
+		if g.Addr == "" {
+			sb.WriteString(" (no addr)")
+		}
+	}
+	fmt.Fprintf(&sb, " of [0,%d)", total)
+	return sb.String()
+}

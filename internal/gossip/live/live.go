@@ -121,6 +121,13 @@ type Config struct {
 	// push model, and an agent population. The zero Span drives
 	// everything.
 	Span Span
+	// Bootstrap, when set, makes Run form the population's membership
+	// before driving any ticks: the engine announces Span to the seed
+	// addresses and blocks until the whole population is mapped (see
+	// Bootstrap). Requires Span, and a TCP transport at the bottom of
+	// the Transport stack — datagram transports exchange addresses out
+	// of band instead.
+	Bootstrap *Bootstrap
 }
 
 // Engine is a running live simulation: the tick/pacing/cancellation
@@ -176,6 +183,22 @@ func New(cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("live: %w", err)
 		}
 	}
+	if cfg.Bootstrap != nil {
+		if err := cfg.Bootstrap.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Bootstrap.Span != cfg.Span {
+			return nil, fmt.Errorf("live: Bootstrap.Span [%d,%d) differs from Config.Span [%d,%d)",
+				cfg.Bootstrap.Span.Lo, cfg.Bootstrap.Span.Hi, cfg.Span.Lo, cfg.Span.Hi)
+		}
+		if cfg.Bootstrap.Total != cfg.Env.Size() {
+			return nil, fmt.Errorf("live: Bootstrap.Total %d differs from environment size %d",
+				cfg.Bootstrap.Total, cfg.Env.Size())
+		}
+		if _, ok := transport.AsTCP(cfg.Transport); !ok {
+			return nil, fmt.Errorf("live: Bootstrap needs a TCP transport (got %T); datagram transports exchange addresses out of band", cfg.Transport)
+		}
+	}
 	e := &Engine{
 		cfg:     cfg,
 		pop:     pop,
@@ -211,12 +234,21 @@ func (e *Engine) Sent() int64 { return e.pop.local() + e.tr.Sent() }
 func (e *Engine) Dropped() int64 { return e.tr.Dropped() }
 
 // Run executes the population's ticks concurrently and blocks until
-// every driver finishes or the context is cancelled. The population
-// decides its driver layout (see Config.Workers); each driver sweeps
-// one tick of its hosts, then the next, so a driver's hosts progress
-// together while drivers interleave freely against each other. On
-// cancellation every driver returns ctx.Err(); Run reports it once.
+// every driver finishes or the context is cancelled. With
+// Config.Bootstrap set, Run first announces this engine's span and
+// blocks until the whole population is mapped — no host ticks before
+// membership is complete. The population decides its driver layout
+// (see Config.Workers); each driver sweeps one tick of its hosts, then
+// the next, so a driver's hosts progress together while drivers
+// interleave freely against each other. On cancellation every driver
+// returns ctx.Err(); Run reports it once.
 func (e *Engine) Run(ctx context.Context) error {
+	if e.cfg.Bootstrap != nil {
+		tcp, _ := transport.AsTCP(e.tr) // validated in New
+		if err := e.cfg.Bootstrap.Run(ctx, tcp); err != nil {
+			return err
+		}
+	}
 	drivers := e.pop.drivers(e.cfg.Workers)
 	var wg sync.WaitGroup
 	errs := make(chan error, len(drivers))

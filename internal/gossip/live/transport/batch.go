@@ -192,6 +192,10 @@ func (l *Lossy) SendBatch(group, tick, msgs int, body []byte) bool {
 	l.mu.Unlock()
 	if drop {
 		l.dropped.Add(int64(msgs))
+		// On a stream transport the lost "datagram" is a failed link:
+		// sever the connection toward the destination group.
+		lo, _ := inner.BatchGroup(group)
+		l.killLink(lo)
 		return false
 	}
 	if wait > 0 {
@@ -214,5 +218,6 @@ func (l *Lossy) DrainBatch(group int, fn func(body []byte)) { l.batcher().DrainB
 var (
 	_ Batcher = (*Channel)(nil)
 	_ Batcher = (*UDP)(nil)
+	_ Batcher = (*TCP)(nil)
 	_ Batcher = (*Lossy)(nil)
 )

@@ -25,10 +25,18 @@ const (
 	kindSketchBits
 	kindCandidates
 	// kindColumnarBatch tags a Batcher datagram: the header's To is
-	// the destination group index, From the encoded message count, and
+	// the destination group index (on TCP: the destination group's Lo
+	// host id, which stays stable while bootstrap is still inserting
+	// groups and shifting indices), From the encoded message count, and
 	// the body an opaque run of protocol-framed records the columnar
 	// live path decodes straight into state columns.
 	kindColumnarBatch
+	// kindAnnounce and kindMembership are the TCP bootstrap control
+	// frames: a joining process announces its [Lo,Hi) span and listen
+	// address; the seed replies with the membership table it knows (or
+	// a rejection when the span conflicts). See membership.go.
+	kindAnnounce
+	kindMembership
 )
 
 // maxCounterElements bounds the counter matrices a datagram may carry

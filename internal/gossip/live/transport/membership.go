@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dynagg/internal/gossip"
+)
+
+// Bootstrap control-frame payloads. These ride inside the same
+// length-prefixed frames as protocol envelopes (kindAnnounce and
+// kindMembership headers), so the TCP reader needs no second parser —
+// but they are transport-internal: no protocol ever sees them.
+//
+// Announce payload:    uvarint lo · uvarint hi · uvarint len · addr
+// Membership payload:  status byte (0 ok, 1 reject)
+//	ok:     uvarint count · count × (uvarint lo · uvarint hi · uvarint len · addr)
+//	reject: uvarint len · reason
+//
+// Like every decoder fed from a socket, the bounds are explicit:
+// addresses cap at maxAddrLen, tables at maxMembershipEntries, reject
+// reasons at maxRejectLen. A hostile frame sizes nothing.
+
+const (
+	maxAddrLen           = 256
+	maxRejectLen         = 512
+	maxMembershipEntries = 1 << 16
+
+	membershipOK     = 0
+	membershipReject = 1
+)
+
+// appendSpanAddr encodes one (lo, hi, addr) triple.
+func appendSpanAddr(dst []byte, lo, hi gossip.NodeID, addr string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(uint32(lo)))
+	dst = binary.AppendUvarint(dst, uint64(uint32(hi)))
+	dst = binary.AppendUvarint(dst, uint64(len(addr)))
+	return append(dst, addr...)
+}
+
+// decodeSpanAddr decodes one triple, returning the remaining bytes.
+func decodeSpanAddr(src []byte) (lo, hi gossip.NodeID, addr string, rest []byte, err error) {
+	l, n := binary.Uvarint(src)
+	if n <= 0 || l > 1<<31-1 {
+		return 0, 0, "", nil, fmt.Errorf("transport: membership span lo")
+	}
+	src = src[n:]
+	h, n := binary.Uvarint(src)
+	if n <= 0 || h > 1<<31-1 {
+		return 0, 0, "", nil, fmt.Errorf("transport: membership span hi")
+	}
+	src = src[n:]
+	al, n := binary.Uvarint(src)
+	if n <= 0 || al > maxAddrLen {
+		return 0, 0, "", nil, fmt.Errorf("transport: membership addr length")
+	}
+	src = src[n:]
+	if uint64(len(src)) < al {
+		return 0, 0, "", nil, fmt.Errorf("transport: membership addr truncated")
+	}
+	return gossip.NodeID(l), gossip.NodeID(h), string(src[:al]), src[al:], nil
+}
+
+func appendAnnounce(dst []byte, lo, hi gossip.NodeID, addr string) []byte {
+	return appendSpanAddr(dst, lo, hi, addr)
+}
+
+func decodeAnnounce(src []byte) (lo, hi gossip.NodeID, addr string, err error) {
+	lo, hi, addr, _, err = decodeSpanAddr(src)
+	return lo, hi, addr, err
+}
+
+// appendMembership encodes the ok reply: every group whose address is
+// known. Groups without an address are omitted — the peer cannot dial
+// them anyway, and it will learn them from a later announce.
+func appendMembership(dst []byte, groups []Group) []byte {
+	dst = append(dst, membershipOK)
+	known := 0
+	for _, g := range groups {
+		if g.Addr != "" {
+			known++
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(known))
+	for _, g := range groups {
+		if g.Addr != "" {
+			dst = appendSpanAddr(dst, g.Lo, g.Hi, g.Addr)
+		}
+	}
+	return dst
+}
+
+// appendMembershipReject encodes the rejection reply.
+func appendMembershipReject(dst []byte, reason string) []byte {
+	if len(reason) > maxRejectLen {
+		reason = reason[:maxRejectLen]
+	}
+	dst = append(dst, membershipReject)
+	dst = binary.AppendUvarint(dst, uint64(len(reason)))
+	return append(dst, reason...)
+}
+
+// decodeMembership parses a reply into its group table, or the
+// rejection reason when the seed refused the announce.
+func decodeMembership(src []byte) (entries []Group, reject string, err error) {
+	if len(src) == 0 {
+		return nil, "", fmt.Errorf("transport: empty membership payload")
+	}
+	status, src := src[0], src[1:]
+	switch status {
+	case membershipReject:
+		rl, n := binary.Uvarint(src)
+		if n <= 0 || rl > maxRejectLen || uint64(len(src[n:])) < rl {
+			return nil, "", fmt.Errorf("transport: membership reject reason")
+		}
+		return nil, string(src[n : n+int(rl)]), nil
+	case membershipOK:
+		count, n := binary.Uvarint(src)
+		if n <= 0 || count > maxMembershipEntries {
+			return nil, "", fmt.Errorf("transport: membership entry count")
+		}
+		src = src[n:]
+		entries = make([]Group, 0, count)
+		for i := uint64(0); i < count; i++ {
+			var g Group
+			g.Lo, g.Hi, g.Addr, src, err = decodeSpanAddr(src)
+			if err != nil {
+				return nil, "", err
+			}
+			entries = append(entries, g)
+		}
+		return entries, "", nil
+	default:
+		return nil, "", fmt.Errorf("transport: membership status %d", status)
+	}
+}

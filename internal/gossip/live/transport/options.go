@@ -9,9 +9,13 @@
 //		transport.WithReadBuffer(4<<20))
 //	lt, err := transport.NewLossy(tr, transport.WithLoss(0.2), transport.WithLossSeed(12))
 //
-// A full UDPConfig still satisfies UDPOption (field-wise overlay), so
-// pre-options call sites — NewUDP(cfg) — keep compiling unchanged, and
-// the Lossy struct fields stay exported for the same reason.
+// The knobs both socket transports share — group layout, locality,
+// queue capacity — are Options, accepted by NewUDP and NewTCP alike;
+// medium-specific knobs (SO_RCVBUF, datagram ceilings, stream framing
+// and reconnect pacing) stay UDPOption or TCPOption. A full UDPConfig
+// still satisfies UDPOption (field-wise overlay), so pre-options call
+// sites — NewUDP(cfg) — keep compiling unchanged, and the Lossy struct
+// fields stay exported for the same reason.
 package transport
 
 import (
@@ -25,10 +29,35 @@ import (
 // options override earlier ones.
 type UDPOption interface{ applyUDP(*UDPConfig) }
 
+// TCPOption configures NewTCP, with the same ordering rule.
+type TCPOption interface{ applyTCP(*TCPConfig) }
+
+// Option is a knob both socket transports understand — group layout,
+// locality, queue capacity — so one option list can assemble either
+// medium.
+type Option interface {
+	UDPOption
+	TCPOption
+}
+
 // udpOptionFunc adapts a function to UDPOption.
 type udpOptionFunc func(*UDPConfig)
 
 func (f udpOptionFunc) applyUDP(c *UDPConfig) { f(c) }
+
+// tcpOptionFunc adapts a function to TCPOption.
+type tcpOptionFunc func(*TCPConfig)
+
+func (f tcpOptionFunc) applyTCP(c *TCPConfig) { f(c) }
+
+// dualOption adapts a pair of functions to Option.
+type dualOption struct {
+	udp func(*UDPConfig)
+	tcp func(*TCPConfig)
+}
+
+func (o dualOption) applyUDP(c *UDPConfig) { o.udp(c) }
+func (o dualOption) applyTCP(c *TCPConfig) { o.tcp(c) }
 
 // applyUDP lets a complete UDPConfig act as one big option: every
 // non-zero field overlays the accumulated configuration. This is the
@@ -51,45 +80,89 @@ func (c UDPConfig) applyUDP(dst *UDPConfig) {
 	}
 }
 
+// applyTCP gives TCPConfig the same one-big-option role for NewTCP.
+func (c TCPConfig) applyTCP(dst *TCPConfig) {
+	if c.Groups != nil {
+		dst.Groups = c.Groups
+	}
+	if c.Local != nil {
+		dst.Local = c.Local
+	}
+	if c.QueueCapacity != 0 {
+		dst.QueueCapacity = c.QueueCapacity
+	}
+	if c.MaxFrame != 0 {
+		dst.MaxFrame = c.MaxFrame
+	}
+	if c.DialTimeout != 0 {
+		dst.DialTimeout = c.DialTimeout
+	}
+	if c.BackoffMin != 0 {
+		dst.BackoffMin = c.BackoffMin
+	}
+	if c.BackoffMax != 0 {
+		dst.BackoffMax = c.BackoffMax
+	}
+}
+
 // WithGroups sets the population partition (non-empty, non-overlapping,
 // sorted by Lo), replacing any earlier layout.
-func WithGroups(groups ...Group) UDPOption {
-	return udpOptionFunc(func(c *UDPConfig) { c.Groups = groups })
+func WithGroups(groups ...Group) Option {
+	return dualOption{
+		udp: func(c *UDPConfig) { c.Groups = groups },
+		tcp: func(c *TCPConfig) { c.Groups = groups },
+	}
 }
 
 // WithLocal lists the group indices this process binds sockets for.
-func WithLocal(local ...int) UDPOption {
-	return udpOptionFunc(func(c *UDPConfig) { c.Local = local })
+func WithLocal(local ...int) Option {
+	return dualOption{
+		udp: func(c *UDPConfig) { c.Local = local },
+		tcp: func(c *TCPConfig) { c.Local = local },
+	}
+}
+
+// loopbackLayout lays hosts [0, hosts) out as `groups` contiguous
+// local groups on ephemeral loopback ports.
+func loopbackLayout(hosts, groups int) ([]Group, []int) {
+	if groups <= 0 {
+		groups = 1
+	}
+	if groups > hosts {
+		groups = hosts
+	}
+	gs := make([]Group, 0, groups)
+	local := make([]int, 0, groups)
+	for g := 0; g < groups; g++ {
+		gs = append(gs, Group{
+			Lo:   gossip.NodeID(g * hosts / groups),
+			Hi:   gossip.NodeID((g + 1) * hosts / groups),
+			Addr: "127.0.0.1:0",
+		})
+		local = append(local, g)
+	}
+	return gs, local
 }
 
 // WithLoopbackGroups lays hosts [0, hosts) out as `groups` contiguous
 // local groups on ephemeral loopback ports — the single-process layout
-// NewUDPLoopback has always built, as a composable option.
-func WithLoopbackGroups(hosts, groups int) UDPOption {
-	return udpOptionFunc(func(c *UDPConfig) {
-		if groups <= 0 {
-			groups = 1
-		}
-		if groups > hosts {
-			groups = hosts
-		}
-		c.Groups = c.Groups[:0]
-		c.Local = c.Local[:0]
-		for g := 0; g < groups; g++ {
-			c.Groups = append(c.Groups, Group{
-				Lo:   gossip.NodeID(g * hosts / groups),
-				Hi:   gossip.NodeID((g + 1) * hosts / groups),
-				Addr: "127.0.0.1:0",
-			})
-			c.Local = append(c.Local, g)
-		}
-	})
+// NewUDPLoopback has always built, as a composable option that NewTCP
+// accepts too.
+func WithLoopbackGroups(hosts, groups int) Option {
+	return dualOption{
+		udp: func(c *UDPConfig) { c.Groups, c.Local = loopbackLayout(hosts, groups) },
+		tcp: func(c *TCPConfig) { c.Groups, c.Local = loopbackLayout(hosts, groups) },
+	}
 }
 
 // WithQueueCapacity bounds each local host's (and group's) receive
-// queue; 0 keeps DefaultQueue.
-func WithQueueCapacity(n int) UDPOption {
-	return udpOptionFunc(func(c *UDPConfig) { c.QueueCapacity = n })
+// queue — and, for the TCP transport, each peer group's send queue;
+// 0 keeps DefaultQueue.
+func WithQueueCapacity(n int) Option {
+	return dualOption{
+		udp: func(c *UDPConfig) { c.QueueCapacity = n },
+		tcp: func(c *TCPConfig) { c.QueueCapacity = n },
+	}
 }
 
 // WithReadBuffer sets SO_RCVBUF on each local socket. Million-host
@@ -103,6 +176,28 @@ func WithReadBuffer(n int) UDPOption {
 // default.
 func WithMaxDatagram(n int) UDPOption {
 	return udpOptionFunc(func(c *UDPConfig) { c.MaxDatagram = n })
+}
+
+// WithMaxFrame bounds the TCP transport's frame size, send and
+// receive; 0 keeps DefaultMaxFrame.
+func WithMaxFrame(n int) TCPOption {
+	return tcpOptionFunc(func(c *TCPConfig) { c.MaxFrame = n })
+}
+
+// WithDialTimeout bounds each connection attempt (and the announce
+// round-trip of the bootstrap protocol); 0 keeps DefaultDialTimeout.
+func WithDialTimeout(d time.Duration) TCPOption {
+	return tcpOptionFunc(func(c *TCPConfig) { c.DialTimeout = d })
+}
+
+// WithReconnectBackoff sets the exponential redial pacing after a
+// broken connection: the first retry waits min, doubling up to max.
+// Zeros keep DefaultBackoffMin / DefaultBackoffMax.
+func WithReconnectBackoff(min, max time.Duration) TCPOption {
+	return tcpOptionFunc(func(c *TCPConfig) {
+		c.BackoffMin = min
+		c.BackoffMax = max
+	})
 }
 
 // LossyOption configures NewLossy.

@@ -224,6 +224,7 @@ func (l *Lossy) Send(from, to gossip.NodeID, tick int, payload any) bool {
 	l.mu.Unlock()
 	if drop {
 		l.dropped.Add(1)
+		l.killLink(to)
 		return false
 	}
 	if wait > 0 {
@@ -235,6 +236,26 @@ func (l *Lossy) Send(from, to gossip.NodeID, tick int, payload any) bool {
 		return true
 	}
 	return l.T.Send(from, to, tick, payload)
+}
+
+// killLink translates a drop draw for a connection-oriented inner
+// transport: a reliable stream has no silent datagram loss, so "this
+// message was lost" becomes "the link carrying it failed" — the
+// connection is severed and the reconnect window models the outage.
+// Datagram transports don't implement LinkKiller and are unaffected.
+func (l *Lossy) killLink(to gossip.NodeID) {
+	if lk, ok := l.T.(LinkKiller); ok {
+		lk.KillLink(to)
+	}
+}
+
+// KillLink implements LinkKiller by forwarding, so injector stacks
+// keep the capability visible.
+func (l *Lossy) KillLink(to gossip.NodeID) bool {
+	if lk, ok := l.T.(LinkKiller); ok {
+		return lk.KillLink(to)
+	}
+	return false
 }
 
 // Drain implements Transport.

@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Stream framing. A datagram transport gets message boundaries for
+// free from the kernel; a stream transport (TCP) must draw them
+// itself. Each frame is a uvarint byte length followed by exactly that
+// many payload bytes — the payload being the same self-describing
+// envelope (Header + protocol encoding, or a batch body) a datagram
+// would carry, so the two transports share every codec above this
+// line.
+//
+// The length prefix is the attack surface: a peer (or a corrupted
+// stream) can claim any length, so DecodeFrame takes an explicit
+// ceiling and refuses larger claims before any allocation happens.
+
+// ErrShortFrame reports that src ends mid-frame: the bytes so far are
+// a valid prefix, and the caller should read more and retry. Every
+// other DecodeFrame error means the stream is corrupt with no way to
+// resynchronize — a stream reader should drop the connection.
+var ErrShortFrame = errors.New("wire: short frame")
+
+// AppendFrame appends one length-prefixed frame carrying payload.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// DecodeFrame splits one frame off the front of a stream buffer,
+// returning the payload and the remaining bytes. maxFrame bounds the
+// accepted payload length (<= 0 means no bound — callers feeding
+// socket bytes must pass a real ceiling). The returned frame aliases
+// src.
+func DecodeFrame(src []byte, maxFrame int) (frame, rest []byte, err error) {
+	ln, n := binary.Uvarint(src)
+	if n == 0 {
+		// Truncated uvarint — unless it is already as long as a uvarint
+		// can get, in which case no suffix could complete it.
+		if len(src) >= binary.MaxVarintLen64 {
+			return nil, nil, fmt.Errorf("wire: frame length is not a valid uvarint")
+		}
+		return nil, src, ErrShortFrame
+	}
+	if n < 0 {
+		return nil, nil, fmt.Errorf("wire: frame length uvarint overflows 64 bits")
+	}
+	if maxFrame > 0 && ln > uint64(maxFrame) {
+		return nil, nil, fmt.Errorf("wire: %d-byte frame exceeds the %d-byte limit", ln, maxFrame)
+	}
+	if uint64(len(src)-n) < ln {
+		return nil, src, ErrShortFrame
+	}
+	return src[n : n+int(ln)], src[n+int(ln):], nil
+}

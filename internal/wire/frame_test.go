@@ -1,0 +1,68 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		{0x42},
+		bytes.Repeat([]byte{7}, 300),
+	}
+	var stream []byte
+	for _, p := range payloads {
+		stream = AppendFrame(stream, p)
+	}
+	for i, want := range payloads {
+		frame, rest, err := DecodeFrame(stream, 1<<20)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(frame, want) {
+			t.Fatalf("frame %d: got %v, want %v", i, frame, want)
+		}
+		stream = rest
+	}
+	if len(stream) != 0 {
+		t.Fatalf("%d trailing bytes", len(stream))
+	}
+}
+
+// TestFrameShortPrefixes feeds every strict prefix of a valid frame:
+// all must report ErrShortFrame (read more), never a hard error and
+// never a bogus frame.
+func TestFrameShortPrefixes(t *testing.T) {
+	full := AppendFrame(nil, bytes.Repeat([]byte{9}, 200))
+	for cut := 0; cut < len(full); cut++ {
+		_, rest, err := DecodeFrame(full[:cut], 1<<20)
+		if !errors.Is(err, ErrShortFrame) {
+			t.Fatalf("prefix of %d bytes: err = %v, want ErrShortFrame", cut, err)
+		}
+		if len(rest) != cut {
+			t.Fatalf("prefix of %d bytes: rest %d, want the whole prefix back", cut, len(rest))
+		}
+	}
+}
+
+func TestFrameRejectsOversizeClaim(t *testing.T) {
+	// A frame claiming 1 MiB against a 64 KiB ceiling must fail before
+	// any payload arrives — the claim alone is the attack.
+	hdr := binary.AppendUvarint(nil, 1<<20)
+	if _, _, err := DecodeFrame(hdr, 64<<10); err == nil || errors.Is(err, ErrShortFrame) {
+		t.Fatalf("oversize claim: err = %v, want a hard error", err)
+	}
+}
+
+func TestFrameRejectsUnterminatedLength(t *testing.T) {
+	// Ten continuation bytes cannot be completed into a valid uvarint,
+	// so the stream is corrupt, not short.
+	src := bytes.Repeat([]byte{0x80}, binary.MaxVarintLen64)
+	if _, _, err := DecodeFrame(src, 1<<20); err == nil || errors.Is(err, ErrShortFrame) {
+		t.Fatalf("unterminated length: err = %v, want a hard error", err)
+	}
+}

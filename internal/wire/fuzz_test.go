@@ -13,6 +13,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 )
@@ -152,6 +153,45 @@ func FuzzDecodeCountersMin(f *testing.F) {
 			if merged[i] != want {
 				t.Fatalf("index %d: got %d, want min(%d,%d)", i, merged[i], prior[i], values[i])
 			}
+		}
+	})
+}
+
+// FuzzDecodeFrame attacks the stream-framing layer the TCP transport
+// reads socket bytes through: adversarial length claims, truncation at
+// every byte, and garbage prefixes. Invariants: no panic, oversize
+// claims rejected before allocation, ErrShortFrame inputs returned
+// intact for retry, and every accepted frame re-frames to a stream
+// that decodes to the same payload.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(AppendFrame(nil, []byte("hello")), 64)
+	f.Add(AppendFrame(AppendFrame(nil, nil), []byte{1, 2, 3}), 16)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}, 1024)
+	f.Add([]byte{0x05, 0x01}, 1024)
+	f.Fuzz(func(t *testing.T, data []byte, max int) {
+		if max < 0 {
+			max = -max
+		}
+		max %= 1 << 20
+		frame, rest, err := DecodeFrame(data, max)
+		if errors.Is(err, ErrShortFrame) {
+			if len(rest) != len(data) {
+				t.Fatalf("short frame consumed %d bytes", len(data)-len(rest))
+			}
+			return
+		}
+		if err != nil {
+			return
+		}
+		if max > 0 && len(frame) > max {
+			t.Fatalf("accepted %d-byte frame over the %d-byte limit", len(frame), max)
+		}
+		if len(frame)+len(rest) > len(data) {
+			t.Fatalf("frame(%d)+rest(%d) exceed input(%d)", len(frame), len(rest), len(data))
+		}
+		again, tail, err := DecodeFrame(AppendFrame(nil, frame), len(frame)+1)
+		if err != nil || len(tail) != 0 || !bytes.Equal(again, frame) {
+			t.Fatalf("re-framed frame did not round-trip: %v", err)
 		}
 	})
 }
