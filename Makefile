@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race bench bench-json bench-1m bench-live-1m bench-gate fmt vet vuln ci live-soak cluster-soak fuzz-smoke
+.PHONY: build examples test race bench bench-json bench-1m bench-live-1m bench-gate bench-gateway fmt vet vuln ci live-soak cluster-soak gateway-soak fuzz-smoke doc-lint
 
 build:
 	$(GO) build ./...
@@ -108,6 +108,41 @@ cluster-soak:
 	$(GO) run -race ./examples/live_cluster
 	$(GO) test -race -count=2 -timeout 10m -run 'TCP|Bootstrap|FrameScanner|Membership|Announce' ./internal/gossip/live/...
 
+# Gateway soak (CI's gateway lane): the three-process-cluster +
+# HTTP-gateway example with every process race-built, then the HTTP
+# handler / observer-span / bootstrap-edge tests twice under race, then
+# a 5-second closed-loop load smoke (TestLoadSmoke asserts >0
+# successful reads, zero errors, and a clean shutdown).
+gateway-soak:
+	$(GO) run -race ./examples/gateway
+	$(GO) test -race -count=2 -timeout 10m ./internal/gateway
+	GATEWAY_LOAD_SECONDS=5 $(GO) test -race -timeout 5m -run 'TestLoadSmoke' -v ./internal/gateway
+
+# Gateway benchmark rows: the in-process serving path (the ~100k+
+# req/s acceptance number) and the loopback-socket path, merged into
+# BENCH_results.json next to the engine rows when a snapshot exists.
+# Unlike the smoke lanes this needs a real measurement window — a
+# single iteration would report one request's reciprocal latency as
+# req/s — so it runs the default 1s benchtime per row.
+bench-gateway:
+	$(GO) test -bench='BenchmarkGateway' -benchmem -run='^$$' -timeout=10m ./internal/gateway > BENCH_gateway_raw.txt || { cat BENCH_gateway_raw.txt >&2; exit 1; }
+	@cat BENCH_gateway_raw.txt
+	@files=BENCH_gateway_raw.txt; \
+	for f in BENCH_raw.txt BENCH_1M_raw.txt BENCH_LIVE_raw.txt; do \
+		if [ -f $$f ]; then files="$$f $$files"; fi; \
+	done; \
+	cat $$files | $(GO) run ./cmd/benchjson -o BENCH_results.json
+
+# Documentation lint: every exported identifier in the contract
+# packages must carry a doc comment (cmd/doclint), every relative link
+# in README/docs must resolve, the README must stay a quickstart, and
+# the gateway API reference's example payloads must round-trip against
+# the real handlers (TestGatewayAPIDocExamples).
+doc-lint:
+	$(GO) run ./cmd/doclint internal/gateway internal/gossip/live internal/gossip/live/transport internal/wire
+	$(GO) test -run 'TestDocsLinksResolve|TestREADMEStaysQuickstart' .
+	$(GO) test -run 'TestGatewayAPIDocExamples' ./internal/gateway
+
 # Native Go fuzzing smoke pass: 10 seconds per wire decoder, enough to
 # shake out the easy crashes on every push (a socket feeds these
 # decoders attacker-controllable bytes). Seed corpora always run via
@@ -142,4 +177,4 @@ vet:
 vuln:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
-ci: fmt vet build examples race bench
+ci: fmt vet build examples race bench doc-lint

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dynagg/internal/gateway"
+)
+
+// gatewayOpts parametrizes the `gateway` mode: join a running TCP
+// cluster as a zero-mass observer span and serve its converged
+// estimates over HTTP.
+type gatewayOpts struct {
+	n          int    // worker population size (observer takes slot n)
+	seeds      string // comma-separated bootstrap seed addresses
+	listen     string // observer span's TCP bind; "" = 127.0.0.1:0
+	listenHTTP string // query API bind
+	aggregates string // comma-separated initial aggregate names
+	pace       time.Duration
+	seed       uint64
+}
+
+// runGateway builds the observer gateway, bootstraps it into the
+// cluster, and serves HTTP until SIGINT/SIGTERM.
+func runGateway(out io.Writer, o gatewayOpts) error {
+	if o.seeds == "" {
+		return fmt.Errorf("gateway: -seeds is required (the cluster's shared seed list)")
+	}
+	if o.n <= 0 {
+		o.n = 256
+	}
+	s, err := gateway.New(gateway.Config{
+		Workers:    o.n,
+		Seeds:      splitNames(o.seeds),
+		Listen:     o.listen,
+		Aggregates: splitNames(o.aggregates),
+		TickEvery:  o.pace,
+		Seed:       o.seed,
+		Replace:    true, // a restarted gateway reclaims its span
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(out, "gateway: observer span [%d,%d) listening on %s, bootstrapping from %s\n",
+		o.n, o.n+1, s.TransportAddr(), o.seeds)
+	if err := s.Start(ctx); err != nil {
+		return fmt.Errorf("gateway: bootstrap: %w", err)
+	}
+	ln, err := net.Listen("tcp", o.listenHTTP)
+	if err != nil {
+		return fmt.Errorf("gateway: http listen: %w", err)
+	}
+	fmt.Fprintf(out, "gateway: membership complete; serving HTTP on http://%s\n", ln.Addr())
+
+	if err := s.Serve(ctx, ln); err != nil && err != context.Canceled {
+		return err
+	}
+	if err := s.Wait(); err != nil && err != context.Canceled {
+		return err
+	}
+	fmt.Fprintln(out, "gateway: shut down cleanly")
+	return nil
+}

@@ -9,9 +9,11 @@ import (
 	"time"
 
 	"dynagg/internal/env"
+	"dynagg/internal/gateway"
 	"dynagg/internal/gossip"
 	"dynagg/internal/gossip/live"
 	"dynagg/internal/gossip/live/transport"
+	"dynagg/internal/protocol/multi"
 	"dynagg/internal/protocol/pushsum"
 	"dynagg/internal/protocol/pushsumrevert"
 	"dynagg/internal/protocol/sketchreset"
@@ -40,6 +42,13 @@ type liveOpts struct {
 	seeds     string // comma-separated TCP bootstrap seed addrs; "" = single process
 	span      string // this process's host range "lo:hi"; "" = full population
 	listen    string // TCP listen address for the span's group; "" = 127.0.0.1:0
+
+	// multi-protocol knobs: the named aggregates every host registers
+	// (with gateway.DemoValue values) and how many environment slots
+	// above n are reserved for observer spans — gateway processes —
+	// that peers gossip with but the bootstrap does not wait for.
+	aggregates    string
+	observerSlots int
 }
 
 // parseSpan parses the -span flag's "lo:hi" form against the
@@ -112,7 +121,7 @@ func runLive(out io.Writer, o liveOpts) error {
 	// iteration rates across the population, so it defaults to a paced
 	// duty cycle; the mass protocols are rate-independent and default
 	// to free-running.
-	if o.pace == 0 && o.protocol == "sketchreset" {
+	if o.pace == 0 && (o.protocol == "sketchreset" || o.protocol == "multi") {
 		o.pace = 4 * time.Millisecond
 	}
 	if o.transport == "" {
@@ -148,7 +157,17 @@ func runLive(out io.Writer, o liveOpts) error {
 		return fmt.Errorf("live: -listen applies only to -transport=tcp")
 	}
 
-	u := env.NewUniform(o.n)
+	if o.observerSlots < 0 {
+		return fmt.Errorf("live: -observer-slots must be >= 0, got %d", o.observerSlots)
+	}
+	if o.observerSlots > 0 && !cluster {
+		return fmt.Errorf("live: -observer-slots only makes sense for a cluster member (-seeds/-span); a single-process run has no observer processes to reserve slots for")
+	}
+
+	// Observer slots sit above the counted population: peers pick them
+	// (mass flows through gateways), the bootstrap does not wait for
+	// them (Total stays o.n).
+	u := env.NewUniform(o.n + o.observerSlots)
 	values := make([]float64, o.n)
 	var sum float64
 	for i := range values {
@@ -187,8 +206,33 @@ func runLive(out io.Writer, o liveOpts) error {
 				})
 			}
 			truth = float64(o.n)
+		case "multi":
+			names := splitNames(o.aggregates)
+			if len(names) == 0 {
+				return fmt.Errorf("live: -protocol=multi needs -aggregates (comma-separated names)")
+			}
+			for i := 0; i < o.n; i++ {
+				vals := make(map[string]float64, len(names))
+				for _, name := range names {
+					vals[name] = gateway.DemoValue(name, i)
+				}
+				node := multi.New(gossip.NodeID(i), vals,
+					sketchreset.Config{Params: sketchParams},
+					pushsumrevert.Config{Lambda: gateway.DefaultLambda},
+				)
+				// A resolver lets dynamically registered names (a
+				// gateway's POST /aggregate/{name}) reach this host with
+				// a real local value instead of being ignored.
+				hostID := i
+				node.SetResolver(func(name string) (float64, bool) {
+					return gateway.DemoValue(name, hostID), true
+				})
+				agents[i] = node
+			}
+			// multi's Estimate is the sketch network-size estimate.
+			truth = float64(o.n)
 		default:
-			return fmt.Errorf("live: unknown -protocol %q (pushsum, revert, sketchreset)", o.protocol)
+			return fmt.Errorf("live: unknown -protocol %q (pushsum, revert, sketchreset, multi)", o.protocol)
 		}
 		if cluster {
 			// This process drives only its span; the other spans'
@@ -198,6 +242,8 @@ func runLive(out io.Writer, o liveOpts) error {
 		pop = live.NewAgentPopulation(agents)
 	case "columnar":
 		switch o.protocol {
+		case "multi":
+			return fmt.Errorf("live: -protocol=multi requires -backend=agents (no columnar form yet)")
 		case "pushsum":
 			pop = live.NewColumnarPopulation(pushsum.NewColumnarAverage(values))
 			truth = sum / float64(o.n)
@@ -361,6 +407,27 @@ func runLive(out io.Writer, o liveOpts) error {
 	}
 	fmt.Fprintf(out, "mean estimate %.4f  truth %.4f  rel.err %.2f%%\n",
 		mean, truth, 100*relErr(mean, truth))
+	if o.protocol == "multi" {
+		// Per-aggregate running averages over the locally driven hosts,
+		// against the exact DemoValue population means.
+		ap := pop.(*live.AgentPopulation)
+		for _, name := range splitNames(o.aggregates) {
+			var s float64
+			c := 0
+			for _, a := range ap.Agents() {
+				if v, ok := a.(*multi.Node).Average(name); ok {
+					s += v
+					c++
+				}
+			}
+			if c > 0 {
+				s /= float64(c)
+			}
+			want := gateway.DemoMean(name, o.n)
+			fmt.Fprintf(out, "aggregate %-12s mean %.4f  truth %.4f  rel.err %.2f%%  (%d/%d hosts)\n",
+				name, s, want, 100*relErr(s, want), c, len(ap.Agents()))
+		}
+	}
 	fmt.Fprintf(out, "sent %d  dropped %d  elapsed %v  peak_rss_bytes %d\n",
 		e.Sent(), e.Dropped(), elapsed.Round(time.Millisecond), rss)
 	if tcp, ok := transport.AsTCP(tr); ok && injectedLoss > 0 {
@@ -375,6 +442,18 @@ func runLive(out io.Writer, o liveOpts) error {
 			o.backend, o.protocol, o.transport, o.n, nsPerTick, msgsPerSec, rss)
 	}
 	return nil
+}
+
+// splitNames parses a comma-separated -aggregates list, dropping
+// blanks.
+func splitNames(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func relErr(got, want float64) float64 {

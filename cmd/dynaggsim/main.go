@@ -43,6 +43,16 @@
 //	       every process bootstraps its membership from (see
 //	       live.Bootstrap and examples/live_cluster)
 //
+// Query gateway (HTTP front end over a live TCP cluster):
+//
+//	gateway  join a running -transport=tcp multi-protocol cluster as a
+//	         zero-mass observer span and serve its converged estimates
+//	         over HTTP/JSON (-seeds the cluster's seed list, -n the
+//	         worker population size, -listen the observer's TCP bind,
+//	         -listen-http the query API bind, -aggregates the initial
+//	         names). Workers run `live -protocol=multi
+//	         -observer-slots=1`. See docs/gateway-api.md.
+//
 // Engine benchmark (the ROADMAP's million-host target):
 //
 //	bench  raw gossip rounds of one protocol (-protocol pushsum|
@@ -136,9 +146,12 @@ func run(args []string) error {
 	backend := fs.String("backend", "", "live population backend: agents (default; per-host boxed agents) or columnar (dense struct-of-arrays columns; -columnar is shorthand)")
 	rcvbuf := fs.Int("rcvbuf", 0, "live UDP socket receive buffer in bytes; 0 = auto (4 MiB for the columnar backend)")
 	benchline := fs.Bool("benchline", false, "live: also print a Benchmark-formatted summary line (ns/tick, msgs/s, peak-rss-bytes) for cmd/benchjson")
-	seeds := fs.String("seeds", "", "live TCP bootstrap: comma-separated seed addresses shared by every process of the deployment (requires -span and -transport=tcp)")
+	seeds := fs.String("seeds", "", "live/gateway TCP bootstrap: comma-separated seed addresses shared by every process of the deployment (live: requires -span and -transport=tcp)")
 	spanFlag := fs.String("span", "", "live TCP bootstrap: this process's host range lo:hi of the -n population (requires -seeds)")
-	listen := fs.String("listen", "", "live TCP: listen address for this process's span; default 127.0.0.1:0 (a seed process must listen on its advertised seed address)")
+	listen := fs.String("listen", "", "live/gateway TCP: listen address for this process's span; default 127.0.0.1:0 (a seed process must listen on its advertised seed address)")
+	listenHTTP := fs.String("listen-http", "127.0.0.1:8080", "gateway: HTTP listen address for the query API")
+	aggregates := fs.String("aggregates", "load", "live -protocol=multi / gateway: comma-separated aggregate names (hosts register gateway.DemoValue per name)")
+	observerSlots := fs.Int("observer-slots", 0, "live cluster member: extra environment slots above -n reserved for observer spans (gateway processes); every process of a deployment must agree")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -148,8 +161,11 @@ func run(args []string) error {
 	if name != "live" && (*loss != 0 || *wan != "") {
 		return fmt.Errorf("%s: -loss and -wan apply only to the live experiment", name)
 	}
-	if name != "live" && (*seeds != "" || *spanFlag != "" || *listen != "") {
-		return fmt.Errorf("%s: -seeds, -span, and -listen apply only to the live experiment", name)
+	if name != "live" && name != "gateway" && (*seeds != "" || *spanFlag != "" || *listen != "") {
+		return fmt.Errorf("%s: -seeds, -span, and -listen apply only to the live and gateway modes", name)
+	}
+	if name != "live" && *observerSlots != 0 {
+		return fmt.Errorf("%s: -observer-slots applies only to the live experiment", name)
 	}
 
 	// Profiling wraps every mode, so the N=1M engine profile (or any
@@ -238,6 +254,12 @@ func run(args []string) error {
 			ticks: *ticks, workers: sc.Workers, seed: *seed,
 			rcvbuf: *rcvbuf, benchline: *benchline,
 			seeds: *seeds, span: *spanFlag, listen: *listen,
+			aggregates: *aggregates, observerSlots: *observerSlots,
+		})
+	case "gateway":
+		return runGateway(out, gatewayOpts{
+			n: *n, seeds: *seeds, listen: *listen, listenHTTP: *listenHTTP,
+			aggregates: *aggregates, pace: *pace, seed: *seed,
 		})
 	}
 
@@ -424,12 +446,15 @@ experiments: fig6 fig8 fig9 fig10a fig10b fig11avg fig11sum
 engine bench: bench [-protocol pushsum|revert|sketchreset|sketchcount|extremes|moments]
              [-model push|pushpull] [-columnar]
              [-n N (default 1,000,000)] [-rounds R] [-workers W] [-seed S]
-live engine: live [-protocol pushsum|revert|sketchreset]
+live engine: live [-protocol pushsum|revert|sketchreset|multi]
              [-backend agents|columnar | -columnar]
              [-transport chan|udp|tcp] [-loss P | -wan lan|3g|sat]
              [-udp-groups G] [-rcvbuf BYTES] [-pace DUR] [-ticks T]
              [-n N] [-workers W] [-seed S] [-benchline]
              [-span LO:HI -seeds ADDRS [-listen ADDR]]  (tcp cluster member)
+             [-aggregates NAMES] [-observer-slots K]    (multi protocol)
+gateway:     gateway -seeds ADDRS [-n N] [-listen ADDR]
+             [-listen-http ADDR] [-aggregates NAMES] [-pace DUR] [-seed S]
 trace tools: trace-gen [-dataset D] [-o FILE]
              trace-info -in FILE [-contacts]`)
 }

@@ -1,0 +1,13 @@
+package main
+
+import (
+	"context"
+	"os/signal"
+	"syscall"
+)
+
+// signalContext is a context cancelled by SIGINT/SIGTERM — how the
+// launcher winds the worker members down.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+}

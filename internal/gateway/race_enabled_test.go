@@ -1,0 +1,7 @@
+//go:build race
+
+package gateway
+
+// raceEnabled stretches timing-sensitive gateway tests when the race
+// detector multiplies per-frame CPU cost (same idiom as package live).
+const raceEnabled = true

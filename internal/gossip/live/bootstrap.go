@@ -28,8 +28,19 @@ type Bootstrap struct {
 	// Span is this process's host range, and must equal Config.Span.
 	Span Span
 	// Total is the full population size the bootstrap waits to see
-	// mapped; it must equal the environment size.
+	// mapped. It may be smaller than the environment size: spans at or
+	// above Total are observer slots (see Span), which announce
+	// themselves but are not waited for — an observer can join, leave,
+	// and rejoin mid-epoch without gating anyone's bootstrap.
 	Total int
+	// Replace announces with restart semantics: if a prior incarnation
+	// of this span is still registered at a stale address, the seeds
+	// update to this process's address instead of reporting
+	// ErrSpanConflict, and push the correction to the membership. Set
+	// it for processes that legitimately restart under one span — an
+	// observer gateway — and leave it off where two processes claiming
+	// one span is a deployment bug to be caught.
+	Replace bool
 	// Retry paces the announce loop (0 means 250ms).
 	Retry time.Duration
 	// Timeout bounds the whole bootstrap (0 means 30s). On expiry Run
@@ -60,8 +71,10 @@ func (b *Bootstrap) Validate() error {
 	if b.Span.Lo < 0 || b.Span.Lo >= b.Span.Hi {
 		return fmt.Errorf("live: Bootstrap.Span [%d,%d) is empty", b.Span.Lo, b.Span.Hi)
 	}
-	if b.Total < int(b.Span.Hi) {
-		return fmt.Errorf("live: Bootstrap.Total %d does not contain span [%d,%d)", b.Total, b.Span.Lo, b.Span.Hi)
+	// A span is either inside the counted population or entirely above
+	// it (an observer slot); straddling Total is a configuration error.
+	if int(b.Span.Lo) < b.Total && b.Total < int(b.Span.Hi) {
+		return fmt.Errorf("live: Bootstrap.Total %d splits span [%d,%d)", b.Total, b.Span.Lo, b.Span.Hi)
 	}
 	if b.Retry < 0 || b.Timeout < 0 {
 		return fmt.Errorf("live: Bootstrap.Retry and Timeout must be >= 0")
@@ -106,7 +119,12 @@ func (b *Bootstrap) Run(ctx context.Context, tr *transport.TCP) error {
 				if seed == self {
 					continue // our own listener already knows us
 				}
-				err := tr.Announce(seed, b.Span.Lo, b.Span.Hi, self)
+				var err error
+				if b.Replace {
+					err = tr.AnnounceReplace(seed, b.Span.Lo, b.Span.Hi, self)
+				} else {
+					err = tr.Announce(seed, b.Span.Lo, b.Span.Hi, self)
+				}
 				if errors.Is(err, transport.ErrSpanConflict) {
 					return fmt.Errorf("live: bootstrap: %w", err)
 				}

@@ -198,7 +198,7 @@ func (p *ColumnarPopulation) estimates() []float64 {
 	out := make([]float64, 0, n)
 	for i := 0; i < n; i++ {
 		id := gossip.NodeID(i)
-		if !cfg.Env.Alive(id, cfg.Ticks) {
+		if !cfg.Env.Alive(id, p.e.finalTick()) {
 			continue
 		}
 		if v, ok := p.proto.Estimate(id); ok {

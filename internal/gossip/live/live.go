@@ -57,6 +57,11 @@ type Span struct {
 	Lo, Hi gossip.NodeID
 }
 
+// Forever, as Config.Ticks, runs the engine until its context is
+// cancelled — the setting for serving processes (an observer gateway)
+// whose lifetime is operational, not experimental.
+const Forever = -1
+
 // Config assembles a live engine.
 type Config struct {
 	// Population is the host-state backend the engine drives: build it
@@ -83,7 +88,8 @@ type Config struct {
 	// Seed drives per-host randomness, split by global host id so the
 	// engines of a multi-process run draw from disjoint streams.
 	Seed uint64
-	// Ticks is how many protocol iterations each host performs.
+	// Ticks is how many protocol iterations each host performs. The
+	// sentinel Forever (-1) ticks until the Run context is cancelled.
 	Ticks int
 	// InboxCapacity bounds each host's message queue in the default
 	// channel transport; messages beyond it are dropped, as a
@@ -169,8 +175,8 @@ func New(cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("live: Span supports only the push model; push/pull exchanges need both agents in-process")
 		}
 	}
-	if cfg.Ticks <= 0 {
-		return nil, fmt.Errorf("live: Ticks must be positive, got %d", cfg.Ticks)
+	if cfg.Ticks <= 0 && cfg.Ticks != Forever {
+		return nil, fmt.Errorf("live: Ticks must be positive (or live.Forever), got %d", cfg.Ticks)
 	}
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("live: Workers must be >= 0, got %d", cfg.Workers)
@@ -191,8 +197,12 @@ func New(cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("live: Bootstrap.Span [%d,%d) differs from Config.Span [%d,%d)",
 				cfg.Bootstrap.Span.Lo, cfg.Bootstrap.Span.Hi, cfg.Span.Lo, cfg.Span.Hi)
 		}
-		if cfg.Bootstrap.Total != cfg.Env.Size() {
-			return nil, fmt.Errorf("live: Bootstrap.Total %d differs from environment size %d",
+		// Total may be smaller than the environment: the slots above it
+		// are observer spans — hosts that join the gossip (peers pick
+		// them, mass flows through them) but are not part of the
+		// population the bootstrap waits to see mapped.
+		if cfg.Bootstrap.Total > cfg.Env.Size() {
+			return nil, fmt.Errorf("live: Bootstrap.Total %d exceeds environment size %d",
 				cfg.Bootstrap.Total, cfg.Env.Size())
 		}
 		if _, ok := transport.AsTCP(cfg.Transport); !ok {
@@ -278,7 +288,7 @@ func (e *Engine) driveLoop(ctx context.Context, d driver) error {
 		pacer = time.NewTicker(e.cfg.TickEvery)
 		defer pacer.Stop()
 	}
-	for tick := 0; tick < e.cfg.Ticks; tick++ {
+	for tick := 0; e.cfg.Ticks == Forever || tick < e.cfg.Ticks; tick++ {
 		if pacer != nil {
 			select {
 			case <-ctx.Done():
@@ -295,6 +305,16 @@ func (e *Engine) driveLoop(ctx context.Context, d driver) error {
 		d.tick(tick)
 	}
 	return nil
+}
+
+// finalTick is the tick estimates are read "at": the last configured
+// tick, or 0 for a Forever engine (whose environment is time-invariant
+// by the live engine's rules, so any tick reads the same liveness).
+func (e *Engine) finalTick() int {
+	if e.cfg.Ticks == Forever {
+		return 0
+	}
+	return e.cfg.Ticks
 }
 
 // Estimates returns the driven hosts' current estimates, skipping

@@ -135,7 +135,7 @@ func (p *AgentPopulation) estimates() []float64 {
 	out := make([]float64, 0, len(p.agents))
 	for i, a := range p.agents {
 		id := e.lo + gossip.NodeID(i)
-		if !e.cfg.Env.Alive(id, e.cfg.Ticks) {
+		if !e.cfg.Env.Alive(id, e.finalTick()) {
 			continue
 		}
 		p.locks[i].Lock()

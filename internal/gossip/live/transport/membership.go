@@ -61,13 +61,23 @@ func decodeSpanAddr(src []byte) (lo, hi gossip.NodeID, addr string, rest []byte,
 	return gossip.NodeID(l), gossip.NodeID(h), string(src[:al]), src[al:], nil
 }
 
-func appendAnnounce(dst []byte, lo, hi gossip.NodeID, addr string) []byte {
-	return appendSpanAddr(dst, lo, hi, addr)
+// appendAnnounce encodes the announce payload. The trailing flag byte
+// (0 plain, 1 replace) is an additive extension: decoders that predate
+// it ignore trailing bytes, and its absence decodes as plain.
+func appendAnnounce(dst []byte, lo, hi gossip.NodeID, addr string, replace bool) []byte {
+	dst = appendSpanAddr(dst, lo, hi, addr)
+	if replace {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
 }
 
-func decodeAnnounce(src []byte) (lo, hi gossip.NodeID, addr string, err error) {
-	lo, hi, addr, _, err = decodeSpanAddr(src)
-	return lo, hi, addr, err
+func decodeAnnounce(src []byte) (lo, hi gossip.NodeID, addr string, replace bool, err error) {
+	lo, hi, addr, rest, err := decodeSpanAddr(src)
+	if err != nil {
+		return 0, 0, "", false, err
+	}
+	return lo, hi, addr, len(rest) > 0 && rest[0] == 1, nil
 }
 
 // appendMembership encodes the ok reply: every group whose address is

@@ -1,0 +1,189 @@
+package transport
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dynagg/internal/gossip"
+	"dynagg/internal/protocol/multi"
+	"dynagg/internal/protocol/pushsumrevert"
+	"dynagg/internal/protocol/sketchreset"
+	"dynagg/internal/wire"
+)
+
+func TestMultiBundleRoundTrip(t *testing.T) {
+	tr, err := NewTCPLoopback(8, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	counters := []uint8{255, 0, 3, 7, 255, 1}
+	bundles := []multi.Bundle{
+		{
+			Count: counters,
+			Masses: map[string]any{
+				"load": pushsumrevert.Mass{W: 0.5, V: 2.25},
+				"temp": &pushsumrevert.Mass{W: 0.125, V: -7},
+			},
+		},
+		{Masses: map[string]any{"solo": pushsumrevert.Mass{W: 1, V: math.Pi}}},
+		{Count: &sketchreset.Counters{Ages: counters}, Masses: map[string]any{}},
+	}
+	for i, b := range bundles {
+		payload := any(b)
+		if i == 1 {
+			payload = &bundles[i] // EmitAppend sends pointers
+		}
+		if !tr.Send(1, 5, i, payload) {
+			t.Fatalf("bundle %d: Send failed", i)
+		}
+		got, ok := drainOne(t, tr, 5).(multi.Bundle)
+		if !ok {
+			t.Fatalf("bundle %d: decoded to %T", i, got)
+		}
+		if len(got.Masses) != len(b.Masses) {
+			t.Fatalf("bundle %d: %d masses, want %d", i, len(got.Masses), len(b.Masses))
+		}
+		for name, m := range b.Masses {
+			want, wok := m.(pushsumrevert.Mass)
+			if !wok {
+				want = *m.(*pushsumrevert.Mass)
+			}
+			if got.Masses[name] != want {
+				t.Errorf("bundle %d mass %q = %v, want %v", i, name, got.Masses[name], want)
+			}
+		}
+		wantCount := b.Count != nil
+		if gotC, isC := got.Count.([]uint8); isC != wantCount {
+			t.Errorf("bundle %d count presence = %v, want %v", i, isC, wantCount)
+		} else if isC {
+			for j, c := range counters {
+				if gotC[j] != c {
+					t.Errorf("bundle %d counter %d = %d, want %d", i, j, gotC[j], c)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiBundleAdversarialDecode(t *testing.T) {
+	hdr := wire.AppendHeader(nil, wire.Header{Kind: kindMultiBundle, To: 1, From: 2})
+	cases := map[string][]byte{
+		"empty body":        hdr,
+		"huge agg count":    append(append([]byte{}, hdr...), 0xff, 0xff, 0xff, 0xff, 0x7f),
+		"name overruns":     append(append([]byte{}, hdr...), 1, 200, 'x'),
+		"truncated mass":    append(append([]byte{}, hdr...), 1, 1, 'x', 9, 9),
+		"missing flag":      buildBundleBytes(hdr, "a", nil),
+		"bad flag":          append(buildBundleBytes(hdr, "a", nil), 7),
+		"truncated counter": append(buildBundleBytes(hdr, "a", nil), 1, 0xff, 0x7f),
+	}
+	for name, frame := range cases {
+		if _, _, err := decodeEnvelope(frame); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// The boundary case that must succeed: zero aggregates, no sketch.
+	ok := append(append([]byte{}, hdr...), 0, 0)
+	if _, payload, err := decodeEnvelope(ok); err != nil {
+		t.Errorf("empty bundle: %v", err)
+	} else if b := payload.(multi.Bundle); len(b.Masses) != 0 || b.Count != nil {
+		t.Errorf("empty bundle decoded to %+v", b)
+	}
+}
+
+// FuzzDecodeMultiBundle hammers the bundle decoder with arbitrary
+// bytes: it must reject or decode, never panic or over-allocate.
+func FuzzDecodeMultiBundle(f *testing.F) {
+	hdr := wire.AppendHeader(nil, wire.Header{Kind: kindMultiBundle, To: 1, From: 2})
+	f.Add([]byte{})
+	f.Add(append(append([]byte{}, hdr...), 0, 0))
+	valid, _ := appendMultiBundle(nil, wire.Header{Kind: kindMultiBundle}, multi.Bundle{
+		Count:  []uint8{1, 2, 3},
+		Masses: map[string]any{"x": pushsumrevert.Mass{W: 1, V: 2}},
+	})
+	f.Add(valid)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = decodeEnvelope(data)
+	})
+}
+
+// buildBundleBytes assembles header + one named mass with no trailing
+// sketch flag byte.
+func buildBundleBytes(hdr []byte, name string, _ []byte) []byte {
+	out := append(append([]byte{}, hdr...), 1, uint8(len(name)))
+	out = append(out, name...)
+	return wire.AppendMass(out, 1, 2)
+}
+
+// TestAnnounceReplaceReclaimsSpan is the observer-restart scenario: a
+// span holder dies, comes back on a new ephemeral port, and reclaims
+// its span with AnnounceReplace; the seed updates its table and pushes
+// the new address to the other members, while a plain re-Announce from
+// a different address keeps failing with ErrSpanConflict.
+func TestAnnounceReplaceReclaimsSpan(t *testing.T) {
+	mk := func(lo, hi gossip.NodeID) *TCP {
+		tr, err := NewTCP(TCPConfig{
+			Groups: []Group{{Lo: lo, Hi: hi, Addr: "127.0.0.1:0"}},
+			Local:  []int{0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	seed, member := mk(0, 4), mk(4, 8)
+	defer seed.Close()
+	defer member.Close()
+	seedAddr := seed.GroupAddr(0)
+	if err := member.Announce(seedAddr, 4, 8, member.GroupAddr(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	obs1 := mk(8, 9)
+	obs1Addr := obs1.GroupAddr(0)
+	if err := obs1.Announce(seedAddr, 8, 9, obs1Addr); err != nil {
+		t.Fatal(err)
+	}
+	if !seed.Covers(9) {
+		t.Fatalf("seed does not cover observer: %v", seed.Groups())
+	}
+	obs1.Close()
+
+	// Restarted process, same span, new port: plain announce must be
+	// refused, replace must be accepted.
+	obs2 := mk(8, 9)
+	defer obs2.Close()
+	obs2Addr := obs2.GroupAddr(0)
+	if err := obs2.Announce(seedAddr, 8, 9, obs2Addr); err == nil {
+		t.Fatal("plain re-announce from a new address was accepted")
+	}
+	if err := obs2.AnnounceReplace(seedAddr, 8, 9, obs2Addr); err != nil {
+		t.Fatalf("AnnounceReplace: %v", err)
+	}
+	find := func(tr *TCP) string {
+		for _, g := range tr.Groups() {
+			if g.Lo == 8 && g.Hi == 9 {
+				return g.Addr
+			}
+		}
+		return ""
+	}
+	if got := find(seed); got != obs2Addr {
+		t.Errorf("seed has observer at %q, want %q", got, obs2Addr)
+	}
+	// The member learns the replacement via the seed's membership push,
+	// which rides the regular outboxes — poll.
+	deadline := time.Now().Add(5 * time.Second)
+	for find(member) != obs2Addr && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := find(member); got != obs2Addr {
+		t.Errorf("member has observer at %q, want %q", got, obs2Addr)
+	}
+	// A local span can never be replaced out from under its owner.
+	if err := seed.ReplaceGroup(0, 4, "127.0.0.1:1"); err == nil {
+		t.Error("local span replacement was accepted")
+	}
+}

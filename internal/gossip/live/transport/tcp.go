@@ -353,12 +353,17 @@ func (t *TCP) SetGroupAddr(group int, addr string) error {
 	return nil
 }
 
-// Covers reports whether the known groups tile [0, total) exactly with
-// every address resolved — the bootstrap completion condition.
+// Covers reports whether the known groups tile [0, total) with every
+// address resolved — the bootstrap completion condition. Groups at or
+// above total (observer spans) neither help nor hurt: an observer
+// joining mid-bootstrap must not flip anyone's coverage back to false.
 func (t *TCP) Covers(total int) bool {
 	v := t.view.Load()
 	at := gossip.NodeID(0)
 	for i, g := range v.groups {
+		if int(at) >= total {
+			break
+		}
 		if g.Lo != at {
 			return false
 		}
@@ -368,7 +373,7 @@ func (t *TCP) Covers(total int) bool {
 		}
 		at = g.Hi
 	}
-	return int(at) == total
+	return int(at) >= total
 }
 
 // RegisterGroup adds (or confirms) one peer group's span and address.
@@ -377,6 +382,20 @@ func (t *TCP) Covers(total int) bool {
 // ErrSpanConflict. Must complete before a Population binds: inserting
 // a group shifts batch group indices.
 func (t *TCP) RegisterGroup(lo, hi gossip.NodeID, addr string) error {
+	return t.registerGroup(lo, hi, addr, false)
+}
+
+// ReplaceGroup is RegisterGroup with restart semantics: an exact span
+// match at a different address updates the stored address and severs
+// the stale cached connection, instead of reporting ErrSpanConflict.
+// Overlapping (non-identical) spans still conflict. This is how a
+// process that crashed and came back on a new ephemeral port — an
+// observer gateway, typically — reclaims its span.
+func (t *TCP) ReplaceGroup(lo, hi gossip.NodeID, addr string) error {
+	return t.registerGroup(lo, hi, addr, true)
+}
+
+func (t *TCP) registerGroup(lo, hi gossip.NodeID, addr string, replace bool) error {
 	if lo < 0 || hi <= lo {
 		return fmt.Errorf("transport: span [%d,%d) is empty", lo, hi)
 	}
@@ -399,6 +418,22 @@ func (t *TCP) RegisterGroup(lo, hi gossip.NodeID, addr string) error {
 				case cur == "":
 					a := addr
 					v.peers[i].addr.Store(&a)
+					return nil
+				case replace:
+					if _, local := t.locals[g.Lo]; local {
+						// Nobody replaces this process's own listening
+						// span out from under it.
+						return fmt.Errorf("%w: span [%d,%d) is local, refused replacement from %s",
+							ErrSpanConflict, lo, hi, addr)
+					}
+					a := addr
+					v.peers[i].addr.Store(&a)
+					// Sever the cached connection toward the stale
+					// address; the writer redials the new one. Not
+					// counted in Kills(): that is loss injection.
+					if cp := v.peers[i].conn.Swap(nil); cp != nil {
+						(*cp).Close()
+					}
 					return nil
 				default:
 					return fmt.Errorf("%w: span [%d,%d) already registered at %s, announced from %s",
@@ -429,6 +464,18 @@ func (t *TCP) RegisterGroup(lo, hi gossip.NodeID, addr string) error {
 // (fatal: someone else owns our span); dial or read failures are plain
 // errors the caller retries — the seed may simply not be up yet.
 func (t *TCP) Announce(seedAddr string, lo, hi gossip.NodeID, selfAddr string) error {
+	return t.announce(seedAddr, lo, hi, selfAddr, false)
+}
+
+// AnnounceReplace is Announce with restart semantics: the seed treats
+// an exact span match at a new address as this process reclaiming its
+// span (see ReplaceGroup) rather than as ErrSpanConflict, and pushes
+// the updated table to the rest of the membership.
+func (t *TCP) AnnounceReplace(seedAddr string, lo, hi gossip.NodeID, selfAddr string) error {
+	return t.announce(seedAddr, lo, hi, selfAddr, true)
+}
+
+func (t *TCP) announce(seedAddr string, lo, hi gossip.NodeID, selfAddr string, replace bool) error {
 	c, err := net.DialTimeout("tcp", seedAddr, t.cfg.DialTimeout)
 	if err != nil {
 		return err
@@ -436,7 +483,7 @@ func (t *TCP) Announce(seedAddr string, lo, hi gossip.NodeID, selfAddr string) e
 	defer c.Close()
 	c.SetDeadline(time.Now().Add(t.cfg.DialTimeout + 2*time.Second))
 	payload := wire.AppendHeader(nil, wire.Header{Kind: kindAnnounce})
-	payload = appendAnnounce(payload, lo, hi, selfAddr)
+	payload = appendAnnounce(payload, lo, hi, selfAddr, replace)
 	if _, err := c.Write(wire.AppendFrame(nil, payload)); err != nil {
 		return err
 	}
@@ -477,7 +524,9 @@ func (t *TCP) mergeMembership(frame []byte) error {
 	}
 	var first error
 	for _, e := range entries {
-		if err := t.RegisterGroup(e.Lo, e.Hi, e.Addr); err != nil && first == nil {
+		// Membership tables are seed-authored: an address change for a
+		// known span is a replacement the seed already vetted.
+		if err := t.registerGroup(e.Lo, e.Hi, e.Addr, true); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -810,10 +859,12 @@ func (t *TCP) handleFrame(c net.Conn, frame []byte) {
 		t.handleAnnounce(c, rest)
 	case kindMembership:
 		// Unsolicited membership (not an announce reply): merge what it
-		// lists, quietly — extra knowledge never hurts.
+		// lists, quietly — extra knowledge never hurts. Address changes
+		// replace (the frame is seed-authored; this is how the cluster
+		// learns a restarted observer's new address).
 		if entries, reject, err := decodeMembership(rest); err == nil && reject == "" {
 			for _, e := range entries {
-				_ = t.RegisterGroup(e.Lo, e.Hi, e.Addr)
+				_ = t.registerGroup(e.Lo, e.Hi, e.Addr, true)
 			}
 		}
 	default:
@@ -839,13 +890,13 @@ func (t *TCP) handleFrame(c net.Conn, frame []byte) {
 // the announced span, reply on the same connection with either the
 // membership table or the rejection.
 func (t *TCP) handleAnnounce(c net.Conn, payload []byte) {
-	lo, hi, addr, err := decodeAnnounce(payload)
+	lo, hi, addr, replace, err := decodeAnnounce(payload)
 	if err != nil {
 		t.dropped.Add(1)
 		return
 	}
 	var reply []byte
-	regErr := t.RegisterGroup(lo, hi, addr)
+	regErr := t.registerGroup(lo, hi, addr, replace)
 	if regErr != nil {
 		reply = appendMembershipReject(nil, regErr.Error())
 	} else {

@@ -13,6 +13,14 @@
 //
 // Every named aggregate yields both a running average (the raw
 // Push-Sum-Revert estimate) and a running sum (average × size).
+//
+// Two deployment extensions support a query gateway (internal/gateway):
+// NewObserver builds a host that owns no sketch identifiers and whose
+// aggregates carry zero weight, so it converges to the population's
+// answers without perturbing them; Register and SetResolver let new
+// named aggregates appear at runtime and spread epidemically — a host
+// that receives mass for a name it has never seen asks its resolver
+// for a local value and joins that aggregate on the spot.
 package multi
 
 import (
@@ -26,27 +34,40 @@ import (
 	"dynagg/internal/xrand"
 )
 
-// payload routes sub-protocol messages: the sketch matrix and one mass
-// per named aggregate.
-type payload struct {
-	count  any            // sketchreset payload, or nil
-	masses map[string]any // pushsumrevert payloads by aggregate name
+// Bundle routes sub-protocol messages: the sketch matrix and one mass
+// per named aggregate. It is the package's gossiped payload type; the
+// live transport codec encodes it on the wire (kindMultiBundle).
+type Bundle struct {
+	// Count is the sketchreset payload, or nil when the sketch does
+	// not ride this envelope.
+	Count any
+	// Masses holds one pushsumrevert payload per aggregate name.
+	Masses map[string]any
 }
 
 // outBundle is one destination's accumulated payload in EmitAppend's
 // reusable scratch.
 type outBundle struct {
 	to gossip.NodeID
-	p  payload
+	p  Bundle
 }
 
 // Node runs one Count-Sketch-Reset host plus one Push-Sum-Revert host
 // per named aggregate at the same simulated device.
 type Node struct {
-	id    gossip.NodeID
-	count *sketchreset.Node
-	aggs  map[string]*pushsumrevert.Node
-	names []string // sorted, for deterministic iteration
+	id     gossip.NodeID
+	count  *sketchreset.Node
+	aggs   map[string]*pushsumrevert.Node
+	names  []string // sorted, for deterministic iteration
+	avgCfg pushsumrevert.Config
+
+	// observer marks a zero-contribution host: its aggregates carry no
+	// mass and unknown incoming names auto-register as observers too.
+	observer bool
+	// resolver supplies this host's local value when mass arrives for
+	// an unregistered aggregate name; nil means unknown names are
+	// dropped (non-observer) — the pre-gateway behavior.
+	resolver func(name string) (float64, bool)
 
 	// EmitAppend scratch, reused across rounds: sub-protocol emissions
 	// and per-destination bundles (maps cleared, not reallocated).
@@ -62,7 +83,7 @@ var (
 
 // New returns a multi-aggregate host. values maps aggregate names to
 // this host's data value for that aggregate; all hosts must register
-// the same name set.
+// the same name set (or rely on SetResolver to converge on it).
 func New(id gossip.NodeID, values map[string]float64, countCfg sketchreset.Config, avgCfg pushsumrevert.Config) *Node {
 	if len(values) == 0 {
 		panic("multi: no aggregates registered")
@@ -71,9 +92,10 @@ func New(id gossip.NodeID, values map[string]float64, countCfg sketchreset.Confi
 		countCfg.Identifiers = 1
 	}
 	n := &Node{
-		id:    id,
-		count: sketchreset.New(id, countCfg),
-		aggs:  make(map[string]*pushsumrevert.Node, len(values)),
+		id:     id,
+		count:  sketchreset.New(id, countCfg),
+		aggs:   make(map[string]*pushsumrevert.Node, len(values)),
+		avgCfg: avgCfg,
 	}
 	for name, v := range values {
 		n.aggs[name] = pushsumrevert.New(id, v, avgCfg)
@@ -82,6 +104,63 @@ func New(id gossip.NodeID, values map[string]float64, countCfg sketchreset.Confi
 	sort.Strings(n.names)
 	return n
 }
+
+// NewObserver returns a read-only multi-aggregate host: it owns zero
+// sketch identifiers (so it relays the size sketch without counting as
+// a member) and each named aggregate is a zero-weight Push-Sum-Revert
+// observer. names may be empty — mass arriving for any name the
+// observer has not seen auto-registers a zero-weight aggregate, so an
+// observer discovers the population's aggregate set by listening.
+func NewObserver(id gossip.NodeID, names []string, countCfg sketchreset.Config, avgCfg pushsumrevert.Config) *Node {
+	countCfg.Identifiers = 0
+	n := &Node{
+		id:       id,
+		count:    sketchreset.New(id, countCfg),
+		aggs:     make(map[string]*pushsumrevert.Node, len(names)),
+		avgCfg:   avgCfg,
+		observer: true,
+	}
+	for _, name := range names {
+		if _, ok := n.aggs[name]; ok {
+			continue
+		}
+		n.aggs[name] = pushsumrevert.NewObserver(id, avgCfg)
+		n.names = append(n.names, name)
+	}
+	sort.Strings(n.names)
+	return n
+}
+
+// Observer reports whether this host was built by NewObserver.
+func (n *Node) Observer() bool { return n.observer }
+
+// Register adds a named aggregate at runtime and reports whether it
+// was new. On a regular host the aggregate starts with this host's
+// local value and unit weight; on an observer the value is ignored and
+// the aggregate starts empty (zero weight). A host registered
+// mid-round simply starts gossiping the name on its next emission;
+// Push-Sum-Revert's reversion absorbs the transient mass imbalance, so
+// the new aggregate spreads epidemically with no epoch coordination.
+func (n *Node) Register(name string, value float64) bool {
+	if _, ok := n.aggs[name]; ok {
+		return false
+	}
+	if n.observer {
+		n.aggs[name] = pushsumrevert.NewObserver(n.id, n.avgCfg)
+	} else {
+		n.aggs[name] = pushsumrevert.New(n.id, value, n.avgCfg)
+	}
+	i, _ := slices.BinarySearch(n.names, name)
+	n.names = slices.Insert(n.names, i, name)
+	return true
+}
+
+// SetResolver installs the callback consulted when mass arrives for an
+// unregistered aggregate name. Returning (v, true) registers the name
+// with local value v before the mass is delivered; returning false
+// drops the mass. Observers never need a resolver — they auto-register
+// unknown names as zero-weight aggregates.
+func (n *Node) SetResolver(f func(name string) (float64, bool)) { n.resolver = f }
 
 // ID returns the host id.
 func (n *Node) ID() gossip.NodeID { return n.id }
@@ -153,13 +232,13 @@ func (n *Node) Emit(round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip
 	}
 	out := make([]gossip.Envelope, 0, len(bundles))
 	for to, b := range bundles {
-		p := payload{masses: make(map[string]any, len(b.masses))}
+		p := Bundle{Masses: make(map[string]any, len(b.masses))}
 		for name, m := range b.masses {
 			if name == "\x00sketch" {
-				p.count = m
+				p.Count = m
 				continue
 			}
-			p.masses[name] = m
+			p.Masses[name] = m
 		}
 		out = append(out, gossip.Envelope{To: to, Payload: p})
 	}
@@ -171,7 +250,7 @@ func (n *Node) Emit(round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip
 // bundleFor returns the reusable bundle accumulating payload parts for
 // one destination, creating (or recycling) it on first use. Linear
 // search is fine: a round emits to at most a handful of destinations.
-func (n *Node) bundleFor(to gossip.NodeID) *payload {
+func (n *Node) bundleFor(to gossip.NodeID) *Bundle {
 	for i := range n.bundles {
 		if n.bundles[i].to == to {
 			return &n.bundles[i].p
@@ -184,11 +263,11 @@ func (n *Node) bundleFor(to gossip.NodeID) *payload {
 	}
 	b := &n.bundles[len(n.bundles)-1]
 	b.to = to
-	b.p.count = nil
-	if b.p.masses == nil {
-		b.p.masses = make(map[string]any, len(n.names))
+	b.p.Count = nil
+	if b.p.Masses == nil {
+		b.p.Masses = make(map[string]any, len(n.names))
 	} else {
-		clear(b.p.masses)
+		clear(b.p.Masses)
 	}
 	return &b.p
 }
@@ -216,13 +295,13 @@ func (n *Node) EmitAppend(dst []gossip.Envelope, round int, rng *xrand.Rand, pic
 	for _, name := range n.names {
 		sub = n.aggs[name].EmitAppend(sub, round, rng, sharedPick)
 		for _, env := range sub[start:] {
-			n.bundleFor(env.To).masses[name] = env.Payload
+			n.bundleFor(env.To).Masses[name] = env.Payload
 		}
 		start = len(sub)
 	}
 	sub = n.count.EmitAppend(sub, round, rng, sharedPick)
 	for _, env := range sub[start:] {
-		n.bundleFor(env.To).count = env.Payload
+		n.bundleFor(env.To).Count = env.Payload
 	}
 	n.subBuf = sub
 	// Deterministic envelope order; pointers are taken only after the
@@ -236,25 +315,40 @@ func (n *Node) EmitAppend(dst []gossip.Envelope, round int, rng *xrand.Rand, pic
 	return dst
 }
 
-// Receive implements gossip.Agent. Both the boxed payload of Emit and
-// the scratch-backed *payload of EmitAppend are accepted.
+// Receive implements gossip.Agent. Both the boxed Bundle of Emit and
+// the scratch-backed *Bundle of EmitAppend are accepted. Mass for an
+// unregistered name auto-registers it on an observer, consults the
+// resolver on a regular host, and is otherwise dropped.
 func (n *Node) Receive(p any) {
-	var pl payload
+	var pl Bundle
 	switch v := p.(type) {
-	case *payload:
+	case *Bundle:
 		pl = *v
-	case payload:
+	case Bundle:
 		pl = v
 	default:
 		panic(fmt.Sprintf("multi: unexpected payload %T", p))
 	}
-	if pl.count != nil {
-		n.count.Receive(pl.count)
+	if pl.Count != nil {
+		n.count.Receive(pl.Count)
 	}
-	for name, m := range pl.masses {
-		if agg, ok := n.aggs[name]; ok {
-			agg.Receive(m)
+	for name, m := range pl.Masses {
+		agg, ok := n.aggs[name]
+		if !ok {
+			if n.observer {
+				n.Register(name, 0)
+			} else if n.resolver != nil {
+				v, have := n.resolver(name)
+				if !have {
+					continue
+				}
+				n.Register(name, v)
+			} else {
+				continue
+			}
+			agg = n.aggs[name]
 		}
+		agg.Receive(m)
 	}
 }
 

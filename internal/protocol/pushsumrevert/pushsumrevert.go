@@ -156,6 +156,32 @@ func New(id gossip.NodeID, v0 float64, cfg Config) *Node {
 	return n
 }
 
+// NewObserver returns a zero-weight Push-Sum-Revert host: w₀ = 0 and
+// v₀·w₀ = 0, so the host contributes no mass of its own and its
+// reversion target is empty. It still receives, holds, and forwards
+// mass like any other host, which makes its local v/w ratio converge
+// to the population average without perturbing it — the read-only
+// participant a query gateway needs. Its estimate stays invalid until
+// the first mass actually arrives (w > 0), so callers can distinguish
+// "not yet converged" from a real value.
+//
+// Because the reversion step decays toward zero mass, an observer
+// destroys a λ fraction of whatever mass it holds each round; the
+// population's own reversion regenerates it, exactly the silent-
+// departure scenario §III is built to absorb.
+func NewObserver(id gossip.NodeID, cfg Config) *Node {
+	cfg.Weight = 0
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := &Node{id: id, cfg: cfg}
+	if cfg.FullTransfer {
+		n.histW = make([]float64, cfg.Window)
+		n.histV = make([]float64, cfg.Window)
+	}
+	return n
+}
+
 // ID returns the host id.
 func (n *Node) ID() gossip.NodeID { return n.id }
 
