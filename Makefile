@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race bench bench-json bench-1m bench-live-1m bench-gate bench-gateway fmt vet vuln ci live-soak cluster-soak gateway-soak fuzz-smoke doc-lint
+.PHONY: build examples test race bench bench-json bench-1m bench-live-1m bench-gate bench-gateway bench-chaos fmt vet vuln ci live-soak cluster-soak gateway-soak chaos-soak fuzz-smoke doc-lint
 
 build:
 	$(GO) build ./...
@@ -133,13 +133,44 @@ bench-gateway:
 	done; \
 	cat $$files | $(GO) run ./cmd/benchjson -o BENCH_results.json
 
+# Chaos lane (CI's chaos job): the scenario engine's test matrix —
+# determinism pinning, honest-audit/Byzantine-flagging, partition-heal
+# convergence across protocol families, live transport fault
+# injection — twice under race; then the three-process TCP cluster
+# example that runs the healing-partition scenario for real (one
+# member partitioned and healed, one SIGKILLed and restarted with a
+# Replace bootstrap reclaiming its span) with every process
+# race-built; then one seeded dynaggsim run per fault family so the
+# CLI surface of each fault kind is exercised end to end.
+chaos-soak:
+	$(GO) test -race -count=2 -timeout 15m ./internal/chaos
+	$(GO) run -race ./examples/chaos_cluster
+	$(GO) run ./cmd/dynaggsim chaos -scenario=partition-heal -seed 1
+	$(GO) run ./cmd/dynaggsim chaos -scenario=regional-outage -seed 1
+	$(GO) run ./cmd/dynaggsim chaos -scenario=churn-storm -seed 1
+	$(GO) run ./cmd/dynaggsim chaos -scenario=clock-skew -seed 1
+
+# Adversary damage rows: the lying-mass scenarios at 1% and 5%
+# Byzantine fractions, recorded as Benchmark-formatted rows
+# (max/final rel err, recovery round, audit violations) and merged
+# into BENCH_results.json next to the perf rows — the artifact then
+# tracks robustness regressions the same way it tracks speed.
+bench-chaos:
+	$(GO) run ./cmd/dynaggsim chaos -scenario=byzantine-lying-1 -seed 1 -benchline | tee BENCH_chaos_raw.txt
+	$(GO) run ./cmd/dynaggsim chaos -scenario=byzantine-lying-5 -seed 1 -benchline | tee -a BENCH_chaos_raw.txt
+	@files=BENCH_chaos_raw.txt; \
+	for f in BENCH_raw.txt BENCH_1M_raw.txt BENCH_LIVE_raw.txt BENCH_gateway_raw.txt; do \
+		if [ -f $$f ]; then files="$$f $$files"; fi; \
+	done; \
+	cat $$files | $(GO) run ./cmd/benchjson -o BENCH_results.json
+
 # Documentation lint: every exported identifier in the contract
 # packages must carry a doc comment (cmd/doclint), every relative link
 # in README/docs must resolve, the README must stay a quickstart, and
 # the gateway API reference's example payloads must round-trip against
 # the real handlers (TestGatewayAPIDocExamples).
 doc-lint:
-	$(GO) run ./cmd/doclint internal/gateway internal/gossip/live internal/gossip/live/transport internal/wire
+	$(GO) run ./cmd/doclint internal/chaos internal/gateway internal/gossip/live internal/gossip/live/transport internal/wire
 	$(GO) test -run 'TestDocsLinksResolve|TestREADMEStaysQuickstart' .
 	$(GO) test -run 'TestGatewayAPIDocExamples' ./internal/gateway
 
@@ -152,6 +183,7 @@ doc-lint:
 # frames and cross-checks it against the one-shot decoder.
 FUZZ_TARGETS = FuzzDecodeCounters FuzzDecodeCountersMin FuzzDecodeCandidates FuzzDecodeHeader FuzzDecodeSketchBits FuzzDecodeMass FuzzDecodeFrame
 TRANSPORT_FUZZ_TARGETS = FuzzFrameScanner
+CHAOS_FUZZ_TARGETS = FuzzDecodeScenario
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
 		echo "fuzz $$t"; \
@@ -160,6 +192,10 @@ fuzz-smoke:
 	@for t in $(TRANSPORT_FUZZ_TARGETS); do \
 		echo "fuzz $$t"; \
 		$(GO) test ./internal/gossip/live/transport -run='^$$' -fuzz="$$t\$$" -fuzztime=10s || exit 1; \
+	done
+	@for t in $(CHAOS_FUZZ_TARGETS); do \
+		echo "fuzz $$t"; \
+		$(GO) test ./internal/chaos -run='^$$' -fuzz="$$t\$$" -fuzztime=10s || exit 1; \
 	done
 
 fmt:

@@ -53,6 +53,19 @@
 //	         names). Workers run `live -protocol=multi
 //	         -observer-slots=1`. See docs/gateway-api.md.
 //
+// Chaos engine (seeded fault/adversary scenarios, see docs/scenarios.md):
+//
+//	chaos  run a chaos scenario on the round engine: composed faults
+//	       (healing partitions, regional outages, churn storms, clock
+//	       skew) and Byzantine adversaries (lying mass, replayed
+//	       sketches, inflated sketch bits) against one protocol, with
+//	       a per-round mass-conservation audit and damage scoring
+//	       against ground truth. -scenario names a catalog entry
+//	       (internal/chaos) or a scenario JSON file; -seed makes the
+//	       whole run — and its Report — deterministic. -format json
+//	       emits the machine-readable chaos.Report; -benchline appends
+//	       a Benchmark-formatted damage row for cmd/benchjson
+//
 // Engine benchmark (the ROADMAP's million-host target):
 //
 //	bench  raw gossip rounds of one protocol (-protocol pushsum|
@@ -145,13 +158,14 @@ func run(args []string) error {
 	ticks := fs.Int("ticks", 0, "live ticks per host (default 60)")
 	backend := fs.String("backend", "", "live population backend: agents (default; per-host boxed agents) or columnar (dense struct-of-arrays columns; -columnar is shorthand)")
 	rcvbuf := fs.Int("rcvbuf", 0, "live UDP socket receive buffer in bytes; 0 = auto (4 MiB for the columnar backend)")
-	benchline := fs.Bool("benchline", false, "live: also print a Benchmark-formatted summary line (ns/tick, msgs/s, peak-rss-bytes) for cmd/benchjson")
+	benchline := fs.Bool("benchline", false, "live/chaos: also print a Benchmark-formatted summary line for cmd/benchjson (live: ns/tick, msgs/s, peak-rss-bytes; chaos: ns/run, damage and audit numbers)")
 	seeds := fs.String("seeds", "", "live/gateway TCP bootstrap: comma-separated seed addresses shared by every process of the deployment (live: requires -span and -transport=tcp)")
 	spanFlag := fs.String("span", "", "live TCP bootstrap: this process's host range lo:hi of the -n population (requires -seeds)")
 	listen := fs.String("listen", "", "live/gateway TCP: listen address for this process's span; default 127.0.0.1:0 (a seed process must listen on its advertised seed address)")
 	listenHTTP := fs.String("listen-http", "127.0.0.1:8080", "gateway: HTTP listen address for the query API")
 	aggregates := fs.String("aggregates", "load", "live -protocol=multi / gateway: comma-separated aggregate names (hosts register gateway.DemoValue per name)")
 	observerSlots := fs.Int("observer-slots", 0, "live cluster member: extra environment slots above -n reserved for observer spans (gateway processes); every process of a deployment must agree")
+	scenario := fs.String("scenario", "", "chaos: catalog scenario name or path to a scenario JSON file (see internal/chaos and docs/scenarios.md)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -166,6 +180,9 @@ func run(args []string) error {
 	}
 	if name != "live" && *observerSlots != 0 {
 		return fmt.Errorf("%s: -observer-slots applies only to the live experiment", name)
+	}
+	if name != "chaos" && *scenario != "" {
+		return fmt.Errorf("%s: -scenario applies only to the chaos mode", name)
 	}
 
 	// Profiling wraps every mode, so the N=1M engine profile (or any
@@ -255,6 +272,12 @@ func run(args []string) error {
 			rcvbuf: *rcvbuf, benchline: *benchline,
 			seeds: *seeds, span: *spanFlag, listen: *listen,
 			aggregates: *aggregates, observerSlots: *observerSlots,
+		})
+	case "chaos":
+		return runChaos(out, chaosOpts{
+			scenario: *scenario, seed: *seed, columnar: *columnar,
+			workers: sc.Workers, n: *n, rounds: *rounds,
+			format: *format, benchline: *benchline,
 		})
 	case "gateway":
 		return runGateway(out, gatewayOpts{
@@ -455,6 +478,8 @@ live engine: live [-protocol pushsum|revert|sketchreset|multi]
              [-aggregates NAMES] [-observer-slots K]    (multi protocol)
 gateway:     gateway -seeds ADDRS [-n N] [-listen ADDR]
              [-listen-http ADDR] [-aggregates NAMES] [-pace DUR] [-seed S]
+chaos:       chaos -scenario NAME|FILE [-seed S] [-columnar] [-workers W]
+             [-n N] [-rounds R] [-format table|json] [-benchline]
 trace tools: trace-gen [-dataset D] [-o FILE]
              trace-info -in FILE [-contacts]`)
 }

@@ -1,0 +1,423 @@
+// chaos_cluster runs the healing-partition scenario from
+// internal/chaos against a REAL cluster: one λ-reverting population
+// split across three OS processes on the TCP transport, where
+//
+//   - every member wraps its transport in chaos.Net with the same
+//     chaos.Scenario, so a partition window cuts the three spans off
+//     from each other (severing cached TCP connections, destroying
+//     in-flight traffic) and then heals;
+//   - the launcher reads the scenario's crashrestart fault and
+//     enforces it with the operating system: it SIGKILLs one member
+//     mid-run — its agents and queued mass die with it — and spawns a
+//     fresh incarnation that reclaims the span via bootstrap Replace
+//     announces, which the seed pushes to the survivors so their
+//     writers redial the new port.
+//
+// Each member reports its span's mean estimate and its mass census
+// (endowment and final agent+in-flight totals). The launcher asserts
+// the chaos-package verdicts: every span's estimate converges back to
+// the population mean after the heal, the partition demonstrably
+// destroyed traffic and severed links, and chaos.LiveMassAudit judges
+// the cluster-wide mass ratio clean — the reverting protocol has
+// regenerated the crashed member's lost mass without moving ΣV/ΣW.
+//
+// Run it with:
+//
+//	go run ./examples/chaos_cluster
+//
+// (also exercised under -race by the repo's example tests).
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"dynagg/internal/chaos"
+	"dynagg/internal/env"
+	"dynagg/internal/gossip"
+	"dynagg/internal/gossip/live"
+	"dynagg/internal/gossip/live/transport"
+	"dynagg/internal/protocol/pushsumrevert"
+)
+
+const (
+	hosts   = 96
+	members = 3
+	lambda  = 0.1
+	pace    = 10 * time.Millisecond
+	seed    = 7
+	// bootGrace pads the shared run deadline beyond Rounds*pace so
+	// bootstrap time does not eat into the post-heal convergence
+	// window, and estBoot is where the launcher guesses the members
+	// started ticking when it converts the crashrestart fault's tick
+	// window into a wall-clock kill time. Neither needs to be exact:
+	// the fault schedule only has to land inside the run.
+	bootGrace = 2 * time.Second
+	estBoot   = 400 * time.Millisecond
+)
+
+// clusterScenario is the shared fault script: both the launcher and
+// every member build it, so all sides of each cut agree on the
+// schedule without exchanging a byte.
+func clusterScenario() chaos.Scenario {
+	return chaos.Scenario{
+		Name:     "cluster-partition-heal",
+		N:        hosts,
+		Rounds:   220,
+		Protocol: chaos.ProtoRevert,
+		Lambda:   lambda,
+		Faults: []chaos.Fault{
+			// Three sides over 96 hosts: each member's 32-host span is
+			// its own island until the window closes.
+			{Kind: chaos.FaultPartition, Start: 20, End: 70, Parts: members},
+			// Executed by the launcher, not chaos.Net: the member
+			// process driving the last span is killed around this tick
+			// and restarted with Replace bootstrap.
+			{Kind: chaos.FaultCrashRestart, Start: 100, End: 101},
+		},
+	}
+}
+
+func main() {
+	role := flag.String("role", "launcher", "internal: launcher or member")
+	span := flag.String("span", "", "internal: member host range lo:hi")
+	listen := flag.String("listen", "127.0.0.1:0", "internal: member listen address")
+	seeds := flag.String("seeds", "", "internal: bootstrap seed address list")
+	deadline := flag.Int64("deadline", 0, "internal: shared run deadline, unix nanoseconds")
+	restart := flag.Bool("restart", false,
+		"internal: restarted incarnation — bootstrap with Replace, fault windows already served")
+	flag.Parse()
+	var err error
+	if *role == "member" {
+		err = runMember(*span, *listen, *seeds, *deadline, *restart)
+	} else {
+		err = runLauncher()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// value is host id's data value: a splitmix64 hash spread over
+// [1, 100), so every span's local mean sits near the global mean and
+// convergence failures can't hide behind skewed spans.
+func value(id int) float64 {
+	z := uint64(id)*0x9E3779B97F4A7C15 + 0x6A09E667F3BCC909
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return 1 + 99*float64(z>>11)/float64(1<<53)
+}
+
+func truth() float64 {
+	var sum float64
+	for i := 0; i < hosts; i++ {
+		sum += value(i)
+	}
+	return sum / hosts
+}
+
+// reserveAddr picks a free loopback port for the seed member by
+// binding an ephemeral listener and releasing it (same idiom as
+// examples/live_cluster).
+func reserveAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	return addr, ln.Close()
+}
+
+// report is one member's MEMBER line: its span, mean estimate, mass
+// census (endowment w0/v0, final agents+in-flight w1/v1), and fault
+// accounting.
+type report struct {
+	lo, hi         int
+	mean           float64
+	w0, v0, w1, v1 float64
+	lost           int64
+	kills          int64
+	sent, dropped  int64
+}
+
+type memberProc struct {
+	cmd *exec.Cmd
+	out *bufio.Scanner
+}
+
+func runLauncher() error {
+	scen := clusterScenario()
+	if err := scen.Validate(); err != nil {
+		return err
+	}
+	var part, crash chaos.Fault
+	for _, f := range scen.Faults {
+		switch f.Kind {
+		case chaos.FaultPartition:
+			part = f
+		case chaos.FaultCrashRestart:
+			crash = f
+		}
+	}
+
+	seedAddr, err := reserveAddr()
+	if err != nil {
+		return err
+	}
+	runDeadline := time.Now().Add(bootGrace + time.Duration(scen.Rounds)*pace)
+
+	spawn := func(i int, listen string, restart bool) (*memberProc, error) {
+		args := []string{"-role=member",
+			fmt.Sprintf("-span=%d:%d", i*hosts/members, (i+1)*hosts/members),
+			"-listen=" + listen, "-seeds=" + seedAddr,
+			fmt.Sprintf("-deadline=%d", runDeadline.UnixNano())}
+		if restart {
+			args = append(args, "-restart")
+		}
+		cmd := exec.Command(os.Args[0], args...)
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("spawning member %d: %w", i, err)
+		}
+		return &memberProc{cmd: cmd, out: bufio.NewScanner(stdout)}, nil
+	}
+
+	procs := make([]*memberProc, members)
+	for i := 0; i < members; i++ {
+		listen := "127.0.0.1:0"
+		if i == 0 {
+			listen = seedAddr // the seed member serves the advertised address
+		}
+		if procs[i], err = spawn(i, listen, false); err != nil {
+			return err
+		}
+	}
+
+	// Enforce the crashrestart fault: kill the last member's process
+	// around the scheduled tick, then bring up a replacement that
+	// reclaims the span with a fresh endowment.
+	crashed := members - 1
+	type respawn struct {
+		p   *memberProc
+		err error
+	}
+	respawned := make(chan respawn, 1)
+	go func() {
+		time.Sleep(estBoot + time.Duration(crash.Start)*pace)
+		if err := procs[crashed].cmd.Process.Kill(); err != nil {
+			respawned <- respawn{err: fmt.Errorf("killing member %d: %w", crashed, err)}
+			return
+		}
+		fmt.Printf("chaos: killed member %d (crashrestart tick %d); respawning with Replace bootstrap\n",
+			crashed, crash.Start)
+		p, err := spawn(crashed, "127.0.0.1:0", true)
+		respawned <- respawn{p: p, err: err}
+	}()
+
+	// scan reads one incarnation's output to EOF, passing chatter
+	// through, and returns its MEMBER report if it printed one.
+	scan := func(p *memberProc) (report, bool, error) {
+		var r report
+		found := false
+		for p.out.Scan() {
+			line := p.out.Text()
+			if !strings.HasPrefix(line, "MEMBER ") {
+				fmt.Println(line)
+				continue
+			}
+			if _, err := fmt.Sscanf(line, "MEMBER %d %d %g %g %g %g %g %d %d %d %d",
+				&r.lo, &r.hi, &r.mean, &r.w0, &r.v0, &r.w1, &r.v1,
+				&r.lost, &r.kills, &r.sent, &r.dropped); err != nil {
+				return r, false, fmt.Errorf("parsing report %q: %w", line, err)
+			}
+			found = true
+		}
+		return r, found, nil
+	}
+
+	reports := make([]report, 0, members)
+	for i := 0; i < members; i++ {
+		r, found, err := scan(procs[i])
+		if err != nil {
+			return fmt.Errorf("member %d: %w", i, err)
+		}
+		waitErr := procs[i].cmd.Wait()
+		if i == crashed {
+			// The first incarnation died by SIGKILL mid-run: no report
+			// and a signal exit are exactly what the fault prescribes.
+			if found {
+				return fmt.Errorf("member %d reported before its scheduled crash", i)
+			}
+			if waitErr == nil {
+				return fmt.Errorf("member %d exited cleanly instead of crashing", i)
+			}
+			continue
+		}
+		if waitErr != nil {
+			return fmt.Errorf("member %d: %w", i, waitErr)
+		}
+		if !found {
+			return fmt.Errorf("member %d exited without a MEMBER report", i)
+		}
+		reports = append(reports, r)
+	}
+	rs := <-respawned
+	if rs.err != nil {
+		return rs.err
+	}
+	r, found, err := scan(rs.p)
+	if err != nil {
+		return fmt.Errorf("restarted member: %w", err)
+	}
+	if err := rs.p.cmd.Wait(); err != nil {
+		return fmt.Errorf("restarted member: %w", err)
+	}
+	if !found {
+		return fmt.Errorf("restarted member exited without a MEMBER report")
+	}
+	reports = append(reports, r)
+
+	// Verdicts — the same three the chaos package's live tests apply.
+	want := truth()
+	fmt.Printf("chaos scenario %q over TCP across %d processes (n=%d, partition ticks [%d,%d), λ=%g):\n",
+		scen.Name, members, hosts, part.Start, part.End, lambda)
+	failed := false
+	var w0, v0, w1, v1 float64
+	var lost, kills int64
+	for _, r := range reports {
+		off := 100 * math.Abs(r.mean-want) / want
+		fmt.Printf("  hosts [%2d,%2d)  mean %8.3f (%4.1f%% off)  lost %4d  kills %d  sent %d dropped %d\n",
+			r.lo, r.hi, r.mean, off, r.lost, r.kills, r.sent, r.dropped)
+		if off > 10 {
+			failed = true
+		}
+		w0 += r.w0
+		v0 += r.v0
+		w1 += r.w1
+		v1 += r.v1
+		lost += r.lost
+		kills += r.kills
+	}
+	fmt.Printf("  truth %.3f\n", want)
+	audit := chaos.LiveMassAudit(w0, v0, w1, v1, 0.1)
+	fmt.Printf("  mass audit: ratio %.4f -> %.4f, drift %.3g (tol %g)\n",
+		v0/w0, v1/w1, audit.MaxDrift, audit.Tolerance)
+	switch {
+	case failed:
+		return errors.New("a span failed to converge to the population mean after the heal")
+	case lost == 0:
+		return errors.New("the partition destroyed no traffic — the fault never bit")
+	case kills == 0:
+		return errors.New("no TCP links were severed — chaos.Net did not reach the transport core")
+	case audit.Violations != 0:
+		return fmt.Errorf("mass audit FLAGGED an honest run (drift %.3g > tol %g)",
+			audit.MaxDrift, audit.Tolerance)
+	}
+	fmt.Println("  audit clean; all spans reconverged after partition heal and crash restart")
+	return nil
+}
+
+// runMember is one cluster process: a span of λ-reverting agents on a
+// TCP transport wrapped in the scenario's chaos.Net, running until the
+// shared deadline and reporting estimate plus mass census.
+func runMember(spanArg, listen, seeds string, deadlineNano int64, restarted bool) error {
+	var lo, hi int
+	if _, err := fmt.Sscanf(spanArg, "%d:%d", &lo, &hi); err != nil {
+		return fmt.Errorf("member: bad -span %q: %w", spanArg, err)
+	}
+	span := live.Span{Lo: gossip.NodeID(lo), Hi: gossip.NodeID(hi)}
+
+	scen := clusterScenario()
+	if restarted {
+		// A rebooted box is not in the old partition: its local tick
+		// clock restarts at zero, so keeping the windows would replay
+		// the cut against healed peers. The incarnation still runs
+		// under chaos.Net so the census plumbing is identical.
+		scen.Faults = nil
+	}
+
+	tr, err := transport.NewTCP(
+		transport.WithGroups(transport.Group{Lo: span.Lo, Hi: span.Hi, Addr: listen}),
+		transport.WithLocal(0),
+		transport.WithReconnectBackoff(20*time.Millisecond, 200*time.Millisecond),
+	)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	cnet := chaos.NewNet(tr, hosts, scen)
+
+	agents := make([]gossip.Agent, hi-lo)
+	var w0, v0 float64
+	for i := range agents {
+		id := span.Lo + gossip.NodeID(i)
+		v := value(int(id))
+		agents[i] = pushsumrevert.New(id, v, pushsumrevert.Config{Lambda: lambda})
+		w0++
+		v0 += v
+	}
+
+	engine, err := live.New(live.Config{
+		Env: env.NewUniform(hosts), Population: live.NewAgentPopulation(agents),
+		Model: gossip.Push, Seed: seed, Ticks: live.Forever, TickEvery: pace,
+		Workers: 4, Transport: cnet, Span: span,
+		Bootstrap: &live.Bootstrap{
+			Seeds: strings.Split(seeds, ","), Span: span, Total: hosts,
+			Retry: 50 * time.Millisecond, Replace: restarted,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, deadlineNano))
+	defer cancel()
+	if err := engine.Run(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+
+	var mean float64
+	ests := engine.Estimates()
+	for _, v := range ests {
+		mean += v
+	}
+	if len(ests) > 0 {
+		mean /= float64(len(ests))
+	}
+
+	// Census: agent state plus whatever the run left in this span's
+	// queues (InFlightMass skips ids other members own — their queues
+	// are nil here).
+	w1, v1, ok := chaos.SumMass(agents)
+	if !ok {
+		return errors.New("member: agents lost mass semantics")
+	}
+	qw, qv := chaos.InFlightMass(cnet, hosts)
+	w1 += qw
+	v1 += qv
+
+	var lost int64
+	for _, l := range cnet.Lost() {
+		lost += l.Count
+	}
+	tcp, _ := transport.AsTCP(cnet) // chaos.Net unwraps to the TCP core
+	fmt.Printf("MEMBER %d %d %g %g %g %g %g %d %d %d %d\n",
+		lo, hi, mean, w0, v0, w1, v1, lost, tcp.Kills(), engine.Sent(), engine.Dropped())
+	return nil
+}

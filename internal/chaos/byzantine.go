@@ -1,0 +1,171 @@
+package chaos
+
+import (
+	"dynagg/internal/gossip"
+	"dynagg/internal/protocol/pushsum"
+	"dynagg/internal/protocol/pushsumrevert"
+	"dynagg/internal/xrand"
+)
+
+// byzantineAgent is the common wrapper shape: it delegates the whole
+// Agent surface to the honest inner node and corrupts only the
+// emission path, so the audit can read the host's true state through
+// unwrap while the network sees the lie. Wrappers deliberately do not
+// implement gossip.AppendEmitter — the engine falls back to Emit, the
+// only path the corruption covers.
+type byzantineAgent interface {
+	gossip.Agent
+	unwrap() gossip.Agent
+}
+
+// applyAdversaries replaces the first hosts of the population with
+// Byzantine wrappers, one contiguous block per adversary in schedule
+// order. Returns the number of corrupted hosts.
+func applyAdversaries(s Scenario, agents []gossip.Agent) int {
+	lo := 0
+	for _, a := range s.Adversaries {
+		k := a.byzantineCount(len(agents))
+		if lo+k > len(agents) {
+			k = len(agents) - lo
+		}
+		for i := lo; i < lo+k; i++ {
+			switch a.Kind {
+			case AdvLyingMass:
+				agents[i] = &lyingAgent{inner: agents[i], value: a.Value, start: a.Start}
+			case AdvReplay:
+				agents[i] = &replayAgent{inner: agents[i], start: a.Start}
+			case AdvSketchBits:
+				agents[i] = &sketchBitsAgent{inner: agents[i], start: a.Start}
+			}
+		}
+		lo += k
+	}
+	return lo
+}
+
+// lyingAgent claims its local reading is value: every emitted mass
+// message carries V = W·value in place of the true value mass. The
+// weight mass stays honest, so the lie corrupts the average without
+// touching convergence — the hardest variant to notice from rates
+// alone, and exactly what the mass-conservation audit catches as
+// value-mass drift.
+type lyingAgent struct {
+	inner gossip.Agent
+	value float64
+	start int
+}
+
+func (a *lyingAgent) unwrap() gossip.Agent      { return a.inner }
+func (a *lyingAgent) BeginRound(round int)      { a.inner.BeginRound(round) }
+func (a *lyingAgent) Receive(payload any)       { a.inner.Receive(payload) }
+func (a *lyingAgent) EndRound(round int)        { a.inner.EndRound(round) }
+func (a *lyingAgent) Estimate() (float64, bool) { return a.inner.Estimate() }
+
+func (a *lyingAgent) Emit(round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip.Envelope {
+	out := a.inner.Emit(round, rng, pick)
+	if round < a.start {
+		return out
+	}
+	for i := range out {
+		out[i].Payload = lieAboutMass(out[i].Payload, a.value)
+	}
+	return out
+}
+
+// lieAboutMass rewrites a mass payload's value component to claim the
+// host's reading is value; unknown payload shapes pass through.
+func lieAboutMass(payload any, value float64) any {
+	switch m := payload.(type) {
+	case pushsum.Mass:
+		return pushsum.Mass{W: m.W, V: m.W * value}
+	case *pushsum.Mass:
+		return pushsum.Mass{W: m.W, V: m.W * value}
+	case pushsumrevert.Mass:
+		return pushsumrevert.Mass{W: m.W, V: m.W * value}
+	case *pushsumrevert.Mass:
+		return pushsumrevert.Mass{W: m.W, V: m.W * value}
+	}
+	return payload
+}
+
+// replayAgent captures its round-start emissions and replays those
+// stale payloads to freshly picked peers every later round, while
+// silently hoarding everything it receives — the captured-sketch
+// replay attack. Every replayed message injects fabricated mass, so
+// total system mass drifts linearly and the audit flags it.
+type replayAgent struct {
+	inner    gossip.Agent
+	start    int
+	captured []any
+}
+
+func (a *replayAgent) unwrap() gossip.Agent      { return a.inner }
+func (a *replayAgent) BeginRound(round int)      { a.inner.BeginRound(round) }
+func (a *replayAgent) Receive(payload any)       { a.inner.Receive(payload) }
+func (a *replayAgent) EndRound(round int)        { a.inner.EndRound(round) }
+func (a *replayAgent) Estimate() (float64, bool) { return a.inner.Estimate() }
+
+func (a *replayAgent) Emit(round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip.Envelope {
+	if round < a.start {
+		return a.inner.Emit(round, rng, pick)
+	}
+	if a.captured == nil {
+		out := a.inner.Emit(round, rng, pick)
+		for _, env := range out {
+			a.captured = append(a.captured, copyMassPayload(env.Payload))
+		}
+		return out
+	}
+	out := make([]gossip.Envelope, 0, len(a.captured))
+	for _, p := range a.captured {
+		if peer, ok := pick(); ok {
+			out = append(out, gossip.Envelope{To: peer, Payload: p})
+		}
+	}
+	return out
+}
+
+// copyMassPayload snapshots a mass payload by value so later replays
+// are immune to scratch-buffer reuse in the inner agent.
+func copyMassPayload(payload any) any {
+	switch m := payload.(type) {
+	case *pushsum.Mass:
+		return *m
+	case *pushsumrevert.Mass:
+		return *m
+	}
+	return payload
+}
+
+// sketchBitsAgent zeroes every age counter in its emitted sketch
+// snapshots — claiming every bit at every level was sourced this
+// round. Min-merge spreads the fabricated bits through the honest
+// population and the size estimate inflates toward the sketch
+// ceiling; the damage metric records the blow-up.
+type sketchBitsAgent struct {
+	inner gossip.Agent
+	start int
+}
+
+func (a *sketchBitsAgent) unwrap() gossip.Agent      { return a.inner }
+func (a *sketchBitsAgent) BeginRound(round int)      { a.inner.BeginRound(round) }
+func (a *sketchBitsAgent) Receive(payload any)       { a.inner.Receive(payload) }
+func (a *sketchBitsAgent) EndRound(round int)        { a.inner.EndRound(round) }
+func (a *sketchBitsAgent) Estimate() (float64, bool) { return a.inner.Estimate() }
+
+func (a *sketchBitsAgent) Emit(round int, rng *xrand.Rand, pick gossip.PeerPicker) []gossip.Envelope {
+	out := a.inner.Emit(round, rng, pick)
+	if round < a.start {
+		return out
+	}
+	for i := range out {
+		if ages, ok := out[i].Payload.([]uint8); ok {
+			// Emit allocates a fresh snapshot per call; zeroing it in
+			// place corrupts only the emitted copy, not agent state.
+			for j := range ages {
+				ages[j] = 0
+			}
+		}
+	}
+	return out
+}

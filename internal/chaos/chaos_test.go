@@ -1,0 +1,218 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// runJSON runs a scenario and returns its report JSON, failing the
+// test on any error.
+func runJSON(t *testing.T, s Scenario, seed uint64, opts RunOpts) []byte {
+	t.Helper()
+	rep, err := RunWith(s, seed, opts)
+	if err != nil {
+		t.Fatalf("RunWith(%s): %v", s.Name, err)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatalf("Report.JSON(%s): %v", s.Name, err)
+	}
+	return data
+}
+
+// TestScenarioDeterminism pins the contract: same Scenario + seed ⇒
+// byte-identical Report, on both backends and independent of the
+// round executor's worker count.
+func TestScenarioDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		s, _ := ByName(name)
+		t.Run(name, func(t *testing.T) {
+			a := runJSON(t, s, 42, RunOpts{})
+			b := runJSON(t, s, 42, RunOpts{})
+			if !bytes.Equal(a, b) {
+				t.Fatalf("classic report not deterministic:\n%s\nvs\n%s", a, b)
+			}
+			c := runJSON(t, s, 42, RunOpts{Workers: 3})
+			if !bytes.Equal(a, c) {
+				t.Fatalf("workers=3 report differs from sequential:\n%s\nvs\n%s", a, c)
+			}
+		})
+	}
+	t.Run("columnar", func(t *testing.T) {
+		s, _ := ByName("partition-heal")
+		a := runJSON(t, s, 42, RunOpts{Columnar: true})
+		b := runJSON(t, s, 42, RunOpts{Columnar: true})
+		if !bytes.Equal(a, b) {
+			t.Fatalf("columnar report not deterministic:\n%s\nvs\n%s", a, b)
+		}
+	})
+}
+
+// TestScenarioHonestAuditClean asserts the defense's specificity:
+// every honest fault in the catalog — partitions, outages, churn
+// storms, clock skew — preserves mass conservation exactly, so the
+// audit must report zero violations.
+func TestScenarioHonestAuditClean(t *testing.T) {
+	for _, name := range Names() {
+		s, _ := ByName(name)
+		if len(s.Adversaries) > 0 {
+			continue
+		}
+		for _, columnar := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/columnar=%v", name, columnar), func(t *testing.T) {
+				rep, err := RunWith(s, 7, RunOpts{Columnar: columnar})
+				if err != nil {
+					t.Fatalf("RunWith: %v", err)
+				}
+				if s.Protocol == ProtoSketchReset {
+					if rep.Audit.Applicable {
+						t.Fatalf("mass audit claims to apply to %s", s.Protocol)
+					}
+					return
+				}
+				if !rep.Audit.Applicable {
+					t.Fatalf("mass audit should apply to %s", s.Protocol)
+				}
+				if rep.Audit.Violations != 0 {
+					t.Fatalf("honest scenario flagged: %d violations (first at round %d, max drift %g)",
+						rep.Audit.Violations, rep.Audit.FirstViolation, rep.Audit.MaxDrift)
+				}
+			})
+		}
+	}
+}
+
+// TestScenarioByzantineFlagged asserts the defense's sensitivity:
+// every seeded Byzantine scenario on a mass protocol must trip the
+// conservation audit, no earlier than the adversary activates; the
+// sketch adversary (no mass to audit) must show up as estimator
+// damage instead.
+func TestScenarioByzantineFlagged(t *testing.T) {
+	for _, name := range Names() {
+		s, _ := ByName(name)
+		if len(s.Adversaries) == 0 {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			rep, err := Run(s, 7)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if rep.Byzantine == 0 {
+				t.Fatalf("no hosts corrupted")
+			}
+			if s.Protocol == ProtoSketchReset {
+				if rep.Audit.Applicable {
+					t.Fatalf("mass audit claims to apply to %s", s.Protocol)
+				}
+				if rep.Damage.MaxRelErr < 5 {
+					t.Fatalf("sketch-bit inflation caused no visible damage: max rel err %g", rep.Damage.MaxRelErr)
+				}
+				return
+			}
+			if rep.Audit.Violations == 0 {
+				t.Fatalf("Byzantine run not flagged (max drift %g)", rep.Audit.MaxDrift)
+			}
+			start := s.Adversaries[0].Start
+			if rep.Audit.FirstViolation < start {
+				t.Fatalf("flagged at round %d, before the adversary activates at %d",
+					rep.Audit.FirstViolation, start)
+			}
+		})
+	}
+}
+
+// TestPartitionHealConvergence is the scenario-matrix table test:
+// every protocol family resumes convergence after a healed 2-way
+// partition, with byte-exact classic/columnar parity on the error
+// trajectory.
+func TestPartitionHealConvergence(t *testing.T) {
+	const healEnd = 40
+	// Tolerances sit below each protocol's mid-partition error and
+	// above its intrinsic noise floor, so RecoveryRound can only land
+	// after the heal: Push-Sum converges to ~1e-9 (two side-means
+	// differ by ~0.2%), the reverting protocol carries a λ-dependent
+	// steady-state bias (λ=0.02 floors near 2.6%), and the sketch's
+	// multiplicative error dominates everything else.
+	cases := []struct {
+		protocol string
+		lambda   float64
+		tol      float64
+	}{
+		{ProtoPushSum, 0, 0.001},
+		{ProtoRevert, 0.02, 0.03},
+		{ProtoSketchReset, 0, 0.75},
+	}
+	for _, tc := range cases {
+		t.Run(tc.protocol, func(t *testing.T) {
+			s := Scenario{
+				Name: "partition-heal-" + tc.protocol, N: 256, Rounds: 80,
+				Protocol: tc.protocol, Lambda: tc.lambda,
+				Faults:      []Fault{{Kind: FaultPartition, Start: 10, End: healEnd, Parts: 2}},
+				RecoveryTol: tc.tol,
+			}
+			classic, err := Run(s, 11)
+			if err != nil {
+				t.Fatalf("classic run: %v", err)
+			}
+			columnar, err := RunWith(s, 11, RunOpts{Columnar: true})
+			if err != nil {
+				t.Fatalf("columnar run: %v", err)
+			}
+
+			if classic.Damage.RecoveryRound < 0 {
+				t.Fatalf("%s never recovered after heal: trajectory tail %v",
+					tc.protocol, classic.Trajectory[len(classic.Trajectory)-5:])
+			}
+			if final := classic.Damage.FinalRelErr; final > tc.tol {
+				t.Fatalf("%s final error %g above tolerance %g", tc.protocol, final, tc.tol)
+			}
+			// The partition must be visible (denied contacts), and for
+			// the mass protocols it must push the error above the
+			// tolerance while open — which forces the recovery round
+			// past the heal, i.e. convergence genuinely RESUMED rather
+			// than never having been disturbed.
+			if len(classic.Lost) == 0 || classic.Lost[0].Count == 0 {
+				t.Fatalf("partition denied no contacts: %+v", classic.Lost)
+			}
+			if tc.protocol != ProtoSketchReset {
+				if during := classic.Trajectory[healEnd-1]; during <= tc.tol {
+					t.Fatalf("partition left error %g within tolerance %g — no damage to recover from", during, tc.tol)
+				}
+				if classic.Damage.RecoveryRound < healEnd {
+					t.Fatalf("recovery round %d precedes the heal at %d", classic.Damage.RecoveryRound, healEnd)
+				}
+			}
+
+			if len(classic.Trajectory) != len(columnar.Trajectory) {
+				t.Fatalf("trajectory lengths differ: %d vs %d", len(classic.Trajectory), len(columnar.Trajectory))
+			}
+			for r := range classic.Trajectory {
+				if classic.Trajectory[r] != columnar.Trajectory[r] {
+					t.Fatalf("classic/columnar parity broken at round %d: %g vs %g",
+						r, classic.Trajectory[r], columnar.Trajectory[r])
+				}
+			}
+		})
+	}
+}
+
+// TestRunRejects pins the runner's refusal cases: live-only faults
+// and adversaries on the columnar backend.
+func TestRunRejects(t *testing.T) {
+	s := Scenario{
+		Name: "live-only", N: 16, Rounds: 4, Protocol: ProtoPushSum,
+		Faults: []Fault{{Kind: FaultCrashRestart, Start: 1, End: 2}},
+	}
+	if _, err := Run(s, 1); err == nil {
+		t.Fatalf("crashrestart accepted by the round runner")
+	}
+	s = Scenario{
+		Name: "byz-columnar", N: 16, Rounds: 4, Protocol: ProtoPushSum,
+		Adversaries: []Adversary{{Kind: AdvLyingMass, Frac: 0.1, Value: 10}},
+	}
+	if _, err := RunWith(s, 1, RunOpts{Columnar: true}); err == nil {
+		t.Fatalf("adversaries accepted on the columnar backend")
+	}
+}

@@ -1,0 +1,33 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Decode parses a JSON scenario file. Unknown fields and trailing
+// data are errors — scenario files are config, and config typos must
+// fail loudly — and the decoded scenario is validated before it is
+// returned.
+func Decode(data []byte) (Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("chaos: decoding scenario: %w", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err == nil || len(trailing) > 0 {
+		return Scenario{}, fmt.Errorf("chaos: trailing data after scenario document")
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// Encode renders a scenario as indented JSON, the inverse of Decode.
+func Encode(s Scenario) ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

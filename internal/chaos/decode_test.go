@@ -1,0 +1,91 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDecodeRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		s, _ := ByName(name)
+		data, err := Encode(s)
+		if err != nil {
+			t.Fatalf("Encode(%s): %v", name, err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("Decode(%s): %v", name, err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("round trip changed %s:\n%+v\nvs\n%+v", name, got, s)
+		}
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"unknown field", `{"name":"x","n":8,"rounds":4,"protocol":"pushsum","bogus":1}`, "bogus"},
+		{"trailing data", `{"name":"x","n":8,"rounds":4,"protocol":"pushsum"} {"again":true}`, "trailing"},
+		{"invalid scenario", `{"name":"x","n":0,"rounds":4,"protocol":"pushsum"}`, "n"},
+		{"bad fault", `{"name":"x","n":8,"rounds":4,"protocol":"pushsum","faults":[{"kind":"nosuch"}]}`, "nosuch"},
+		{"not json", `]`, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("Decode accepted %q", tc.in)
+			}
+			if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// FuzzDecodeScenario: any input Decode accepts must validate and
+// survive an Encode/Decode round trip unchanged.
+func FuzzDecodeScenario(f *testing.F) {
+	for _, name := range Names() {
+		s, _ := ByName(name)
+		data, err := Encode(s)
+		if err != nil {
+			f.Fatalf("Encode(%s): %v", name, err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x","n":8,"rounds":4,"protocol":"pushsum"}`))
+	f.Add([]byte(`{"name":"","n":-1}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("Decode accepted a scenario that fails Validate: %v\n%+v", verr, s)
+		}
+		again, err := Encode(s)
+		if err != nil {
+			t.Fatalf("Encode after Decode: %v", err)
+		}
+		s2, err := Decode(again)
+		if err != nil {
+			t.Fatalf("Decode(Encode(s)): %v", err)
+		}
+		// Compare canonical encodings rather than structs: a JSON
+		// input spelling a list as [] decodes to an empty non-nil
+		// slice that omitempty then drops, so the re-decoded struct
+		// holds nil — same scenario, different Go representation.
+		canon, err := Encode(s2)
+		if err != nil {
+			t.Fatalf("Encode(Decode(Encode(s))): %v", err)
+		}
+		if string(again) != string(canon) {
+			t.Fatalf("round trip changed scenario:\n%s\nvs\n%s", again, canon)
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dynagg/internal/gossip"
+	"dynagg/internal/gossip/live/transport"
+)
+
+// Net wraps a live transport with a Scenario's fault schedule:
+// partition and outage windows become delivery filters keyed on the
+// sender's tick, and the first blocked send toward a destination also
+// severs the cached connection through transport.LinkKiller — so a
+// TCP member experiences a partition the way a real one happens
+// (connection dies, redial fails to matter, traffic is lost), not as
+// politely missing messages.
+//
+// Every member of a cluster runs the same Scenario, so the filters
+// agree on both sides of each cut up to tick skew between processes.
+type Net struct {
+	inner  transport.Transport
+	n      int
+	faults []Fault
+	lost   []atomic.Int64
+
+	mu     sync.Mutex
+	killed map[int64]bool // (fault<<32|to) pairs already link-killed
+}
+
+var (
+	_ transport.Transport  = (*Net)(nil)
+	_ transport.LinkKiller = (*Net)(nil)
+)
+
+// NewNet wraps inner with the delivery-affecting faults of s
+// (partition, outage; other kinds are ignored here). n is the total
+// host population, needed to map host ids to partition sides.
+func NewNet(inner transport.Transport, n int, s Scenario) *Net {
+	net := &Net{inner: inner, n: n, killed: make(map[int64]bool)}
+	for _, f := range s.Faults {
+		if f.Kind == FaultPartition || f.Kind == FaultOutage {
+			net.faults = append(net.faults, f)
+		}
+	}
+	net.lost = make([]atomic.Int64, len(net.faults))
+	return net
+}
+
+// Send implements transport.Transport: messages crossing an active
+// fault are destroyed (and tallied); everything else forwards.
+func (c *Net) Send(from, to gossip.NodeID, tick int, payload any) bool {
+	if fi := c.blocks(from, to, tick); fi >= 0 {
+		c.lost[fi].Add(1)
+		c.killOnce(fi, to)
+		return false
+	}
+	return c.inner.Send(from, to, tick, payload)
+}
+
+// blocks returns the index of the first fault active at the sender's
+// tick that forbids from→to, or −1.
+func (c *Net) blocks(from, to gossip.NodeID, tick int) int {
+	for i := range c.faults {
+		f := &c.faults[i]
+		if tick < f.Start || tick >= f.End {
+			continue
+		}
+		switch f.Kind {
+		case FaultPartition:
+			if partitionSide(int(from), c.n, f.parts()) != partitionSide(int(to), c.n, f.parts()) {
+				return i
+			}
+		case FaultOutage:
+			if (int(from) >= f.Lo && int(from) < f.Hi) || (int(to) >= f.Lo && int(to) < f.Hi) {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// killOnce severs the cached connection toward to's group the first
+// time fault fi blocks traffic that way, making the cut visible to
+// the transport's reconnect machinery.
+func (c *Net) killOnce(fi int, to gossip.NodeID) {
+	killer, ok := c.inner.(transport.LinkKiller)
+	if !ok {
+		return
+	}
+	key := int64(fi)<<32 | int64(to)
+	c.mu.Lock()
+	seen := c.killed[key]
+	if !seen {
+		c.killed[key] = true
+	}
+	c.mu.Unlock()
+	if !seen {
+		killer.KillLink(to)
+	}
+}
+
+// Lost tallies the messages each fault destroyed so far, in fault
+// order.
+func (c *Net) Lost() []FaultLoss {
+	out := make([]FaultLoss, len(c.faults))
+	for i := range c.faults {
+		out[i] = FaultLoss{Kind: c.faults[i].Kind, Count: c.lost[i].Load()}
+	}
+	return out
+}
+
+// Drain implements transport.Transport.
+func (c *Net) Drain(id gossip.NodeID, fn func(payload any)) { c.inner.Drain(id, fn) }
+
+// Sent implements transport.Transport.
+func (c *Net) Sent() int64 { return c.inner.Sent() }
+
+// Dropped implements transport.Transport (fault-destroyed messages
+// are not included; they are accounted in Lost).
+func (c *Net) Dropped() int64 { return c.inner.Dropped() }
+
+// Close implements transport.Transport.
+func (c *Net) Close() error { return c.inner.Close() }
+
+// KillLink implements transport.LinkKiller by forwarding to the
+// wrapped transport when it supports link kills.
+func (c *Net) KillLink(to gossip.NodeID) bool {
+	if killer, ok := c.inner.(transport.LinkKiller); ok {
+		return killer.KillLink(to)
+	}
+	return false
+}
+
+// Unwrap exposes the wrapped transport so transport.AsTCP can reach
+// a TCP core through the chaos layer.
+func (c *Net) Unwrap() transport.Transport { return c.inner }

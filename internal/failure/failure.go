@@ -84,6 +84,51 @@ func Churn(startRound int, rate float64, pop *env.Population, seed uint64) gossi
 	}
 }
 
+// RegionOutage returns a BeforeRound hook implementing a correlated
+// regional outage that heals: every host in [lo, hi) fails at round
+// start and revives at round end. Hosts outside the region never
+// notice beyond their peers going silent — the datacenter-loses-power
+// model the uncorrelated Churn cannot express.
+func RegionOutage(start, end, lo, hi int, pop *env.Population) gossip.Hook {
+	return func(r int, e *gossip.Engine) {
+		switch r {
+		case start:
+			for id := lo; id < hi; id++ {
+				pop.Fail(gossip.NodeID(id))
+			}
+		case end:
+			for id := lo; id < hi; id++ {
+				pop.Revive(gossip.NodeID(id))
+			}
+		}
+	}
+}
+
+// ChurnStorm returns a BeforeRound hook implementing repeating churn
+// bursts: from round start on, every period rounds the population
+// endures burst consecutive rounds of per-host fail/revive churn at
+// the given rate, then goes quiet again — sustained instability with
+// calm windows for recovery, unlike the continuous Churn.
+func ChurnStorm(start, period, burst int, rate float64, pop *env.Population, seed uint64) gossip.Hook {
+	rng := xrand.New(seed)
+	return func(r int, e *gossip.Engine) {
+		if r < start || (r-start)%period >= burst {
+			return
+		}
+		n := pop.Size()
+		for i := 0; i < n; i++ {
+			id := gossip.NodeID(i)
+			if pop.Alive(id) {
+				if rng.Prob(rate) {
+					pop.Fail(id)
+				}
+			} else if rng.Prob(rate) {
+				pop.Revive(id)
+			}
+		}
+	}
+}
+
 // FailSet returns a BeforeRound hook that fails an explicit host set at
 // the given round, for scripted scenarios.
 func FailSet(round int, ids []gossip.NodeID, pop *env.Population) gossip.Hook {

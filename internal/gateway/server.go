@@ -366,15 +366,21 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		Converged      bool   `json:"converged"`
 		StalenessTicks int    `json:"staleness_ticks"`
 	}
+	type transportBody struct {
+		Kills           int64 `json:"kills"`
+		Reconnects      int64 `json:"reconnects"`
+		OverflowDropped int64 `json:"overflow_dropped"`
+	}
 	type statusBody struct {
-		Span          string       `json:"span"`
-		Workers       int          `json:"workers"`
-		Tick          int          `json:"tick"`
-		UptimeSeconds float64      `json:"uptime_seconds"`
-		Membership    []memberBody `json:"membership"`
-		Sent          int64        `json:"sent"`
-		Dropped       int64        `json:"dropped"`
-		Aggregates    []aggStatus  `json:"aggregates"`
+		Span          string        `json:"span"`
+		Workers       int           `json:"workers"`
+		Tick          int           `json:"tick"`
+		UptimeSeconds float64       `json:"uptime_seconds"`
+		Membership    []memberBody  `json:"membership"`
+		Sent          int64         `json:"sent"`
+		Dropped       int64         `json:"dropped"`
+		Transport     transportBody `json:"transport"`
+		Aggregates    []aggStatus   `json:"aggregates"`
 	}
 	var members []memberBody
 	for _, g := range s.tcp.Groups() {
@@ -392,6 +398,11 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		Membership:    members,
 		Sent:          s.tcp.Sent(),
 		Dropped:       s.tcp.Dropped(),
-		Aggregates:    aggs,
+		Transport: transportBody{
+			Kills:           s.tcp.Kills(),
+			Reconnects:      s.tcp.Reconnects(),
+			OverflowDropped: s.tcp.OverflowDrops(),
+		},
+		Aggregates: aggs,
 	})
 }

@@ -46,13 +46,21 @@ type Bootstrap struct {
 	// Timeout bounds the whole bootstrap (0 means 30s). On expiry Run
 	// reports the groups seen so far, naming what is missing.
 	Timeout time.Duration
+	// ReAnnounce paces the post-bootstrap keepalive: once coverage
+	// completes, the engine keeps re-announcing this span to every
+	// seed at this cadence so a seed that crashes and restarts with an
+	// empty membership table rebuilds it from the survivors'
+	// re-registrations (see KeepAlive). 0 means 1s; negative disables
+	// the keepalive.
+	ReAnnounce time.Duration
 }
 
-// DefaultBootstrapRetry and DefaultBootstrapTimeout fill the zero
-// fields of Bootstrap.
+// DefaultBootstrapRetry, DefaultBootstrapTimeout, and
+// DefaultBootstrapReAnnounce fill the zero fields of Bootstrap.
 const (
-	DefaultBootstrapRetry   = 250 * time.Millisecond
-	DefaultBootstrapTimeout = 30 * time.Second
+	DefaultBootstrapRetry      = 250 * time.Millisecond
+	DefaultBootstrapTimeout    = 30 * time.Second
+	DefaultBootstrapReAnnounce = 1 * time.Second
 )
 
 // Validate reports whether the bootstrap configuration is usable.
@@ -155,6 +163,65 @@ func (b *Bootstrap) Run(ctx context.Context, tr *transport.TCP) error {
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-time.After(wait):
+		}
+	}
+}
+
+// reannounceEvery resolves the keepalive cadence: the default for 0,
+// disabled (0 result) for negative values.
+func (b *Bootstrap) reannounceEvery() time.Duration {
+	switch {
+	case b.ReAnnounce < 0:
+		return 0
+	case b.ReAnnounce == 0:
+		return DefaultBootstrapReAnnounce
+	default:
+		return b.ReAnnounce
+	}
+}
+
+// KeepAlive re-announces this process's span to every seed at the
+// ReAnnounce cadence until the context is cancelled. Bootstrap
+// coverage is a one-shot handshake: without a keepalive, a seed that
+// restarts mid-epoch comes back with an empty membership table and —
+// every joiner having long since finished announcing — no way to ever
+// rebuild it, leaving its own traffic aimed at nobody. The periodic
+// re-announce is the repair channel: survivors keep re-registering
+// (an idempotent no-op at a healthy seed), the restarted seed
+// re-learns their spans, and its membership pushes propagate any
+// address corrections back out. Announce errors are ignored — an
+// unreachable seed is exactly what the next cycle exists to retry.
+func (b *Bootstrap) KeepAlive(ctx context.Context, tr *transport.TCP) {
+	every := b.reannounceEvery()
+	if every <= 0 {
+		return
+	}
+	self := ""
+	for _, g := range tr.Groups() {
+		if g.Lo == b.Span.Lo && g.Hi == b.Span.Hi {
+			self = g.Addr
+		}
+	}
+	if self == "" {
+		return
+	}
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		for _, seed := range b.Seeds {
+			if seed == self {
+				continue
+			}
+			if b.Replace {
+				_ = tr.AnnounceReplace(seed, b.Span.Lo, b.Span.Hi, self)
+			} else {
+				_ = tr.Announce(seed, b.Span.Lo, b.Span.Hi, self)
+			}
 		}
 	}
 }

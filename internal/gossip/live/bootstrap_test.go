@@ -455,3 +455,88 @@ func TestLiveColumnarOverTCPConverges(t *testing.T) {
 		t.Error("no messages sent")
 	}
 }
+
+// TestBootstrapKeepAliveRepairsRestartedSeed is the seed-restart
+// regression: bootstrap coverage used to be a one-shot handshake, so
+// a seed process that died and came back started with an empty
+// membership table and no joiner would ever announce again — its
+// gossip had nowhere to go for the rest of the epoch. The KeepAlive
+// re-announce loop (spawned by Engine.Run after bootstrap completes)
+// is the repair channel: a surviving member keeps re-registering, and
+// the reborn seed rebuilds full coverage from those announces alone.
+func TestBootstrapKeepAliveRepairsRestartedSeed(t *testing.T) {
+	const n = 64
+	seed := newSpanTCP(t, 0, 32, "127.0.0.1:0")
+	seedAddr := seed.GroupAddr(0)
+	member := newSpanTCP(t, 32, 64, "127.0.0.1:0")
+	defer member.Close()
+
+	b := &Bootstrap{
+		Seeds: []string{seedAddr}, Span: Span{Lo: 32, Hi: 64}, Total: n,
+		Retry: 10 * time.Millisecond, Timeout: 20 * time.Second,
+		ReAnnounce: 20 * time.Millisecond,
+	}
+	if err := b.Run(context.Background(), member); err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	if !member.Covers(n) || !seed.Covers(n) {
+		t.Fatalf("handshake did not reach full coverage: member=%v seed=%v",
+			member.Groups(), seed.Groups())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go b.KeepAlive(ctx, member)
+
+	// The seed dies mid-epoch and is reborn on the same address with
+	// an empty table: it knows only its own span.
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reborn := newSpanTCP(t, 0, 32, seedAddr)
+	defer reborn.Close()
+	if reborn.Covers(n) {
+		t.Fatalf("reborn seed started with full coverage; restart not modeled")
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for !reborn.Covers(n) {
+		if time.Now().After(deadline) {
+			t.Fatalf("reborn seed never recovered membership: %v", reborn.Groups())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestBootstrapKeepAliveDisabled pins the opt-out: ReAnnounce < 0
+// turns the keepalive off, so a restarted seed stays uncovered — the
+// pre-repair behavior, available for callers that own re-registration
+// some other way.
+func TestBootstrapKeepAliveDisabled(t *testing.T) {
+	const n = 64
+	seed := newSpanTCP(t, 0, 32, "127.0.0.1:0")
+	seedAddr := seed.GroupAddr(0)
+	member := newSpanTCP(t, 32, 64, "127.0.0.1:0")
+	defer member.Close()
+
+	b := &Bootstrap{
+		Seeds: []string{seedAddr}, Span: Span{Lo: 32, Hi: 64}, Total: n,
+		Retry: 10 * time.Millisecond, Timeout: 20 * time.Second,
+		ReAnnounce: -1,
+	}
+	if err := b.Run(context.Background(), member); err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go b.KeepAlive(ctx, member) // must return immediately; nothing announces
+
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reborn := newSpanTCP(t, 0, 32, seedAddr)
+	defer reborn.Close()
+	time.Sleep(200 * time.Millisecond)
+	if reborn.Covers(n) {
+		t.Fatalf("reborn seed recovered with keepalive disabled: %v", reborn.Groups())
+	}
+}

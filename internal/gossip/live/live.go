@@ -258,6 +258,13 @@ func (e *Engine) Run(ctx context.Context) error {
 		if err := e.cfg.Bootstrap.Run(ctx, tcp); err != nil {
 			return err
 		}
+		// Keep re-announcing for the engine's lifetime so a seed that
+		// restarts mid-run rebuilds its membership table from our
+		// re-registrations (fire-and-forget: announces to a closed or
+		// unreachable peer fail quietly and the next cycle retries).
+		kaCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		go e.cfg.Bootstrap.KeepAlive(kaCtx, tcp)
 	}
 	drivers := e.pop.drivers(e.cfg.Workers)
 	var wg sync.WaitGroup

@@ -56,6 +56,14 @@ type LinkKiller interface {
 	KillLink(to gossip.NodeID) bool
 }
 
+// Unwrapper is implemented by transport layers that forward to an
+// inner transport (fault injectors, filters). AsTCP follows Unwrap
+// chains so capability discovery works through any stack of wrappers.
+type Unwrapper interface {
+	// Unwrap returns the wrapped transport.
+	Unwrap() Transport
+}
+
 // TCPConfig assembles a TCP transport.
 type TCPConfig struct {
 	// Groups partitions the population, exactly as for UDP: non-empty,
@@ -125,9 +133,17 @@ type TCP struct {
 	sent    atomic.Int64
 	dropped atomic.Int64
 	kills   atomic.Int64
-	closed  atomic.Bool
-	done    chan struct{}
-	wg      sync.WaitGroup
+	// reconnects counts successful redials after a connection died;
+	// overflow counts messages shed because a bounded queue was full
+	// (sender outbox, receiver batch queue, or receiver host inbox).
+	// Both are subsets of the stories dropped tells, kept separately
+	// so chaos runs can tell link failure from backpressure on
+	// /statusz.
+	reconnects atomic.Int64
+	overflow   atomic.Int64
+	closed     atomic.Bool
+	done       chan struct{}
+	wg         sync.WaitGroup
 }
 
 var (
@@ -588,6 +604,7 @@ func (t *TCP) enqueue(p *tcpPeer, bp *[]byte, off, msgs int) bool {
 	default:
 		t.bufs.Put(bp)
 		t.dropped.Add(int64(msgs))
+		t.overflow.Add(int64(msgs))
 		return false
 	}
 }
@@ -617,6 +634,7 @@ func (p *tcpPeer) run() {
 	var bw *bufio.Writer
 	backoff := t.cfg.BackoffMin
 	var nextDial time.Time
+	hadConn := false
 	closeConn := func() {
 		if conn != nil {
 			conn.Close()
@@ -657,6 +675,10 @@ func (p *tcpPeer) run() {
 					p.conn.Store(&cc)
 					conn.SetWriteDeadline(time.Now().Add(tcpWriteDeadline))
 					backoff = t.cfg.BackoffMin
+					if hadConn {
+						t.reconnects.Add(1)
+					}
+					hadConn = true
 				} else {
 					nextDial = time.Now().Add(backoff)
 					if backoff *= 2; backoff > t.cfg.BackoffMax {
@@ -719,8 +741,21 @@ func (t *TCP) killPeer(p *tcpPeer) bool {
 // would read drop counts.
 func (t *TCP) Kills() int64 { return t.kills.Load() }
 
-// AsTCP unwraps capability-forwarding layers (Lossy) down to the TCP
-// transport, if one is at the bottom of the stack.
+// Reconnects returns the number of times a peer writer successfully
+// re-established a connection after a previous one died (by write
+// failure, remote close, or KillLink). The first dial toward a peer
+// is not a reconnect.
+func (t *TCP) Reconnects() int64 { return t.reconnects.Load() }
+
+// OverflowDrops returns the number of messages shed because a bounded
+// queue was full: sender outboxes, receiver batch queues, and
+// receiver host inboxes. A subset of Dropped — the backpressure
+// share, as opposed to losses from dead connections.
+func (t *TCP) OverflowDrops() int64 { return t.overflow.Load() }
+
+// AsTCP unwraps capability-forwarding layers (Lossy, or anything
+// exposing Unwrap) down to the TCP transport, if one is at the bottom
+// of the stack.
 func AsTCP(tr Transport) (*TCP, bool) {
 	for {
 		switch v := tr.(type) {
@@ -728,6 +763,8 @@ func AsTCP(tr Transport) (*TCP, bool) {
 			return v, true
 		case *Lossy:
 			tr = v.T
+		case Unwrapper:
+			tr = v.Unwrap()
 		default:
 			return nil, false
 		}
@@ -854,6 +891,7 @@ func (t *TCP) handleFrame(c net.Conn, frame []byte) {
 		default:
 			t.bufs.Put(bp)
 			t.dropped.Add(int64(h.From))
+			t.overflow.Add(int64(h.From))
 		}
 	case kindAnnounce:
 		t.handleAnnounce(c, rest)
@@ -882,6 +920,7 @@ func (t *TCP) handleFrame(c net.Conn, frame []byte) {
 		case q <- payload:
 		default:
 			t.dropped.Add(1)
+			t.overflow.Add(1)
 		}
 	}
 }
