@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race bench bench-json bench-1m bench-live-1m bench-gate bench-gateway bench-chaos fmt vet vuln ci live-soak cluster-soak gateway-soak chaos-soak fuzz-smoke doc-lint
+.PHONY: build examples test race bench bench-json bench-1m bench-live-1m bench-gate bench-gateway bench-chaos bench-heal fmt vet vuln ci live-soak cluster-soak gateway-soak chaos-soak heal-soak fuzz-smoke doc-lint
 
 build:
 	$(GO) build ./...
@@ -136,19 +136,44 @@ bench-gateway:
 # Chaos lane (CI's chaos job): the scenario engine's test matrix —
 # determinism pinning, honest-audit/Byzantine-flagging, partition-heal
 # convergence across protocol families, live transport fault
-# injection — twice under race; then the three-process TCP cluster
-# example that runs the healing-partition scenario for real (one
-# member partitioned and healed, one SIGKILLed and restarted with a
-# Replace bootstrap reclaiming its span) with every process
-# race-built; then one seeded dynaggsim run per fault family so the
-# CLI surface of each fault kind is exercised end to end.
+# injection — twice under race; then one seeded dynaggsim run per
+# fault family so the CLI surface of each fault kind is exercised end
+# to end. (The supervised multi-process scenario moved to heal-soak.)
 chaos-soak:
 	$(GO) test -race -count=2 -timeout 15m ./internal/chaos
-	$(GO) run -race ./examples/chaos_cluster
 	$(GO) run ./cmd/dynaggsim chaos -scenario=partition-heal -seed 1
 	$(GO) run ./cmd/dynaggsim chaos -scenario=regional-outage -seed 1
 	$(GO) run ./cmd/dynaggsim chaos -scenario=churn-storm -seed 1
 	$(GO) run ./cmd/dynaggsim chaos -scenario=clock-skew -seed 1
+	$(GO) run ./cmd/dynaggsim chaos -scenario=crash-restart -seed 1
+
+# Heal lane (CI's heal job): the self-healing stack end to end. The
+# failure detector, retry-policy, and supervisor test matrices twice
+# under race — including the detector's false-positive table under
+# clock skew and churn storms, and the supervisor's real
+# kill/detect/respawn cycles over OS processes — then the supervised
+# chaos_cluster example with every process race-built: partition heals
+# and a member SIGKILLed mid-run is detected, respawned, and reclaims
+# its span via Replace bootstrap with no launcher intervention, under
+# a clean cluster-wide mass audit.
+heal-soak:
+	$(GO) test -race -count=2 -timeout 15m ./internal/backoff ./internal/gossip/live/health ./internal/supervise
+	$(GO) run -race ./examples/chaos_cluster
+
+# Heal latency rows: a supervised mini-cluster with a scripted chaos
+# kill reports its mean detect/recover latencies (ms-to-detect,
+# ms-to-recover), and the round-engine crash-restart scenario reports
+# how many rounds the population needed to reabsorb the reset span —
+# merged into BENCH_results.json next to the perf and damage rows so
+# recovery-time regressions are tracked like speed regressions.
+bench-heal:
+	$(GO) run ./cmd/dynaggsim supervise -members=2 -kill-after=2s -kill=m1 -seed 1 -benchline | tee BENCH_heal_raw.txt
+	$(GO) run ./cmd/dynaggsim chaos -scenario=crash-restart -seed 1 -benchline | tee -a BENCH_heal_raw.txt
+	@files=BENCH_heal_raw.txt; \
+	for f in BENCH_raw.txt BENCH_1M_raw.txt BENCH_LIVE_raw.txt BENCH_gateway_raw.txt BENCH_chaos_raw.txt; do \
+		if [ -f $$f ]; then files="$$f $$files"; fi; \
+	done; \
+	cat $$files | $(GO) run ./cmd/benchjson -o BENCH_results.json
 
 # Adversary damage rows: the lying-mass scenarios at 1% and 5%
 # Byzantine fractions, recorded as Benchmark-formatted rows
@@ -170,7 +195,7 @@ bench-chaos:
 # the gateway API reference's example payloads must round-trip against
 # the real handlers (TestGatewayAPIDocExamples).
 doc-lint:
-	$(GO) run ./cmd/doclint internal/chaos internal/gateway internal/gossip/live internal/gossip/live/transport internal/wire
+	$(GO) run ./cmd/doclint internal/backoff internal/chaos internal/gateway internal/gossip/live internal/gossip/live/health internal/gossip/live/transport internal/supervise internal/wire
 	$(GO) test -run 'TestDocsLinksResolve|TestREADMEStaysQuickstart' .
 	$(GO) test -run 'TestGatewayAPIDocExamples' ./internal/gateway
 

@@ -69,6 +69,24 @@ func runChaos(out io.Writer, o chaosOpts) error {
 			rep.Scenario, rep.N, elapsed.Nanoseconds(),
 			rep.Damage.MaxRelErr, rep.Damage.FinalRelErr,
 			rep.Damage.RecoveryRound, rep.Audit.Violations)
+		// The crashrestart family additionally reports how many rounds
+		// past the restart the population needed to reabsorb the reset
+		// span — the round-engine twin of the supervisor's
+		// ms-to-recover benchline (-1: never recovered).
+		for _, f := range s.Faults {
+			if f.Kind != chaos.FaultCrashRestart {
+				continue
+			}
+			rec := -1
+			if rep.Damage.RecoveryRound >= 0 {
+				rec = rep.Damage.RecoveryRound - f.End
+				if rec < 0 {
+					rec = 0
+				}
+			}
+			fmt.Fprintf(out, "BenchmarkChaosHeal/scenario=%s/n=%d 1 %d recovery-rounds\n",
+				rep.Scenario, rep.N, rec)
+		}
 	}
 	return nil
 }

@@ -26,22 +26,24 @@ import (
 // optionally with injected loss — the knob set of live.Config surfaced
 // on the command line.
 type liveOpts struct {
-	protocol  string // pushsum | revert | sketchreset
-	backend   string // agents | columnar
-	transport string // chan | udp | tcp
-	loss      float64
-	wan       string // canned WAN preset name, or ""
-	groups    int
-	pace      time.Duration
-	n         int
-	ticks     int
-	workers   int
-	seed      uint64
-	rcvbuf    int    // SO_RCVBUF for UDP sockets; 0 = auto
-	benchline bool   // also print a Benchmark-formatted summary line
-	seeds     string // comma-separated TCP bootstrap seed addrs; "" = single process
-	span      string // this process's host range "lo:hi"; "" = full population
-	listen    string // TCP listen address for the span's group; "" = 127.0.0.1:0
+	protocol   string // pushsum | revert | sketchreset
+	backend    string // agents | columnar
+	transport  string // chan | udp | tcp
+	loss       float64
+	wan        string // canned WAN preset name, or ""
+	groups     int
+	pace       time.Duration
+	n          int
+	ticks      int
+	workers    int
+	seed       uint64
+	rcvbuf     int           // SO_RCVBUF for UDP sockets; 0 = auto
+	benchline  bool          // also print a Benchmark-formatted summary line
+	seeds      string        // comma-separated TCP bootstrap seed addrs; "" = single process
+	span       string        // this process's host range "lo:hi"; "" = full population
+	listen     string        // TCP listen address for the span's group; "" = 127.0.0.1:0
+	replace    bool          // announce with restart semantics (supervised respawn)
+	reannounce time.Duration // keepalive cadence; 0 = the bootstrap default
 
 	// multi-protocol knobs: the named aggregates every host registers
 	// (with gateway.DemoValue values) and how many environment slots
@@ -155,6 +157,9 @@ func runLive(out io.Writer, o liveOpts) error {
 	}
 	if o.listen != "" && o.transport != "tcp" {
 		return fmt.Errorf("live: -listen applies only to -transport=tcp")
+	}
+	if (o.replace || o.reannounce != 0) && !cluster {
+		return fmt.Errorf("live: -replace and -reannounce apply only to cluster members (-seeds/-span)")
 	}
 
 	if o.observerSlots < 0 {
@@ -347,7 +352,10 @@ func runLive(out io.Writer, o liveOpts) error {
 		for _, s := range strings.Split(o.seeds, ",") {
 			seeds = append(seeds, strings.TrimSpace(s))
 		}
-		cfg.Bootstrap = &live.Bootstrap{Seeds: seeds, Span: span, Total: o.n}
+		cfg.Bootstrap = &live.Bootstrap{
+			Seeds: seeds, Span: span, Total: o.n,
+			Replace: o.replace, ReAnnounce: o.reannounce,
+		}
 		// Our own group is table index 0 at construction, but merging a
 		// seed's membership can insert lower spans and shift it — so the
 		// listen address must be captured before Run bootstraps.

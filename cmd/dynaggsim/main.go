@@ -41,7 +41,22 @@
 //	       cluster: -span lo:hi names the host range it drives,
 //	       -listen its TCP address, and -seeds the shared seed list
 //	       every process bootstraps its membership from (see
-//	       live.Bootstrap and examples/live_cluster)
+//	       live.Bootstrap and examples/live_cluster); -reannounce sets
+//	       the keepalive heartbeat cadence and -replace announces with
+//	       restart semantics (a supervised respawn taking over its dead
+//	       predecessor's span)
+//
+// Self-healing cluster (failure detection + supervised takeover):
+//
+//	supervise  launch -members live cluster member processes (spans of
+//	           [0,-n) split evenly), serve as their bootstrap seed, run
+//	           the heartbeat failure detector (internal/gossip/live/
+//	           health) over their keepalives, and restart members
+//	           pronounced dead with -replace takeover — under a
+//	           -restart-budget storm brake. -kill-after/-kill inject a
+//	           chaos kill to demonstrate the heal; -benchline appends a
+//	           BenchmarkSupervisorHeal row (ms-to-detect,
+//	           ms-to-recover) for cmd/benchjson. See docs/operations.md
 //
 // Query gateway (HTTP front end over a live TCP cluster):
 //
@@ -166,6 +181,13 @@ func run(args []string) error {
 	aggregates := fs.String("aggregates", "load", "live -protocol=multi / gateway: comma-separated aggregate names (hosts register gateway.DemoValue per name)")
 	observerSlots := fs.Int("observer-slots", 0, "live cluster member: extra environment slots above -n reserved for observer spans (gateway processes); every process of a deployment must agree")
 	scenario := fs.String("scenario", "", "chaos: catalog scenario name or path to a scenario JSON file (see internal/chaos and docs/scenarios.md)")
+	replace := fs.Bool("replace", false, "live cluster member: announce with restart semantics — seeds update a stale registration of this span to our address instead of reporting a conflict (set by the supervisor on respawns)")
+	reannounce := fs.Duration("reannounce", 0, "live cluster member: keepalive re-announce cadence, the failure detector's heartbeat (0 = 1s default)")
+	membersN := fs.Int("members", 0, "supervise: member process count, spans split evenly (0 = 2)")
+	heartbeat := fs.Duration("heartbeat", 0, "supervise: members' keepalive cadence and the failure detector's expected heartbeat (0 = 250ms)")
+	killAfter := fs.Duration("kill-after", 0, "supervise: chaos injection — kill the -kill member this long into the run (0 = no kill)")
+	killName := fs.String("kill", "", "supervise: member name to kill at -kill-after (\"\" = m0)")
+	restartBudget := fs.Int("restart-budget", 0, "supervise: restarts allowed per member per minute before the run fails (0 = default 5)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -183,6 +205,12 @@ func run(args []string) error {
 	}
 	if name != "chaos" && *scenario != "" {
 		return fmt.Errorf("%s: -scenario applies only to the chaos mode", name)
+	}
+	if name != "live" && (*replace || *reannounce != 0) {
+		return fmt.Errorf("%s: -replace and -reannounce apply only to the live experiment", name)
+	}
+	if name != "supervise" && (*membersN != 0 || *heartbeat != 0 || *killAfter != 0 || *killName != "" || *restartBudget != 0) {
+		return fmt.Errorf("%s: -members, -heartbeat, -kill-after, -kill, and -restart-budget apply only to the supervise mode", name)
 	}
 
 	// Profiling wraps every mode, so the N=1M engine profile (or any
@@ -272,6 +300,7 @@ func run(args []string) error {
 			rcvbuf: *rcvbuf, benchline: *benchline,
 			seeds: *seeds, span: *spanFlag, listen: *listen,
 			aggregates: *aggregates, observerSlots: *observerSlots,
+			replace: *replace, reannounce: *reannounce,
 		})
 	case "chaos":
 		return runChaos(out, chaosOpts{
@@ -283,6 +312,13 @@ func run(args []string) error {
 		return runGateway(out, gatewayOpts{
 			n: *n, seeds: *seeds, listen: *listen, listenHTTP: *listenHTTP,
 			aggregates: *aggregates, pace: *pace, seed: *seed,
+		})
+	case "supervise":
+		return runSupervise(out, superviseOpts{
+			n: *n, members: *membersN, protocol: *protocol,
+			ticks: *ticks, pace: *pace, heartbeat: *heartbeat,
+			killAfter: *killAfter, killName: *killName,
+			budget: *restartBudget, seed: *seed, benchline: *benchline,
 		})
 	}
 
@@ -475,9 +511,13 @@ live engine: live [-protocol pushsum|revert|sketchreset|multi]
              [-udp-groups G] [-rcvbuf BYTES] [-pace DUR] [-ticks T]
              [-n N] [-workers W] [-seed S] [-benchline]
              [-span LO:HI -seeds ADDRS [-listen ADDR]]  (tcp cluster member)
+             [-replace] [-reannounce DUR]               (supervised member)
              [-aggregates NAMES] [-observer-slots K]    (multi protocol)
 gateway:     gateway -seeds ADDRS [-n N] [-listen ADDR]
              [-listen-http ADDR] [-aggregates NAMES] [-pace DUR] [-seed S]
+supervise:   supervise [-n N] [-members M] [-protocol P] [-ticks T]
+             [-pace DUR] [-heartbeat DUR] [-kill-after DUR] [-kill NAME]
+             [-restart-budget B] [-seed S] [-benchline]
 chaos:       chaos -scenario NAME|FILE [-seed S] [-columnar] [-workers W]
              [-n N] [-rounds R] [-format table|json] [-benchline]
 trace tools: trace-gen [-dataset D] [-o FILE]

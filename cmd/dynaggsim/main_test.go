@@ -142,6 +142,28 @@ func TestRunLiveRejectsBadKnobs(t *testing.T) {
 	}
 }
 
+// TestRunSuperviseRejectsBadKnobs pins the supervise-mode flag
+// validation; the healing run itself is exercised by `make heal-soak`
+// and the internal/supervise tests (re-exec spawning does not work
+// from inside a test binary).
+func TestRunSuperviseRejectsBadKnobs(t *testing.T) {
+	if err := run([]string{"supervise", "-members", "10", "-n", "4"}); err == nil {
+		t.Error("members > population accepted")
+	}
+	if err := run([]string{"fig8", "-members", "3"}); err == nil {
+		t.Error("-members outside supervise accepted")
+	}
+	if err := run([]string{"bench", "-replace"}); err == nil {
+		t.Error("-replace outside live accepted")
+	}
+	if err := run([]string{"live", "-replace", "-n", "16", "-ticks", "1"}); err == nil {
+		t.Error("-replace without -seeds/-span accepted")
+	}
+	if err := run([]string{"live", "-reannounce", "50ms", "-n", "16", "-ticks", "1"}); err == nil {
+		t.Error("-reannounce without -seeds/-span accepted")
+	}
+}
+
 // Smoke-run the cheapest experiments end to end through the CLI path.
 // Output goes to stdout; correctness of the numbers is asserted in
 // package experiments — here we only care that the plumbing works.

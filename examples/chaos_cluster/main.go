@@ -1,69 +1,87 @@
 // chaos_cluster runs the healing-partition scenario from
-// internal/chaos against a REAL cluster: one λ-reverting population
-// split across three OS processes on the TCP transport, where
+// internal/chaos against a REAL self-healing cluster: one λ-reverting
+// population split across three supervised OS processes on the TCP
+// transport, where
 //
 //   - every member wraps its transport in chaos.Net with the same
 //     chaos.Scenario, so a partition window cuts the three spans off
 //     from each other (severing cached TCP connections, destroying
 //     in-flight traffic) and then heals;
-//   - the launcher reads the scenario's crashrestart fault and
-//     enforces it with the operating system: it SIGKILLs one member
-//     mid-run — its agents and queued mass die with it — and spawns a
-//     fresh incarnation that reclaims the span via bootstrap Replace
-//     announces, which the seed pushes to the survivors so their
-//     writers redial the new port.
+//   - the launcher is an internal/supervise Supervisor: it spawns the
+//     members, serves as their bootstrap seed from an observer span,
+//     and runs the health detector over their keepalive heartbeats.
+//     The scenario's crashrestart fault is injected through the
+//     supervisor's chaos hook (Kill) — and from there recovery is
+//     ENTIRELY the supervisor's: the detector pronounces the silent
+//     span dead, the supervisor respawns the member, and the fresh
+//     incarnation reclaims the span via bootstrap Replace announces,
+//     which the seed pushes to the survivors so their writers redial
+//     the new port. No launcher choreography, no hand respawn.
 //
 // Each member reports its span's mean estimate and its mass census
 // (endowment and final agent+in-flight totals). The launcher asserts
 // the chaos-package verdicts: every span's estimate converges back to
 // the population mean after the heal, the partition demonstrably
-// destroyed traffic and severed links, and chaos.LiveMassAudit judges
-// the cluster-wide mass ratio clean — the reverting protocol has
-// regenerated the crashed member's lost mass without moving ΣV/ΣW.
+// destroyed traffic and severed links, the supervisor healed the
+// killed member (≥1 restart, ≥1 completed heal, no member failed
+// permanently), and chaos.LiveMassAudit judges the cluster-wide mass
+// ratio clean — the reverting protocol has regenerated the crashed
+// member's lost mass without moving ΣV/ΣW.
 //
 // Run it with:
 //
 //	go run ./examples/chaos_cluster
 //
-// (also exercised under -race by the repo's example tests).
+// (also exercised under -race by the repo's heal lane).
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
-	"net"
 	"os"
 	"os/exec"
 	"strings"
+	"sync"
 	"time"
 
+	"dynagg/internal/backoff"
 	"dynagg/internal/chaos"
 	"dynagg/internal/env"
 	"dynagg/internal/gossip"
 	"dynagg/internal/gossip/live"
+	"dynagg/internal/gossip/live/health"
 	"dynagg/internal/gossip/live/transport"
 	"dynagg/internal/protocol/pushsumrevert"
+	"dynagg/internal/supervise"
 )
 
 const (
-	hosts   = 96
-	members = 3
-	lambda  = 0.1
-	pace    = 10 * time.Millisecond
-	seed    = 7
+	hosts     = 96
+	members   = 3
+	lambda    = 0.1
+	pace      = 10 * time.Millisecond
+	seed      = 7
+	heartbeat = 100 * time.Millisecond
 	// bootGrace pads the shared run deadline beyond Rounds*pace so
-	// bootstrap time does not eat into the post-heal convergence
-	// window, and estBoot is where the launcher guesses the members
-	// started ticking when it converts the crashrestart fault's tick
-	// window into a wall-clock kill time. Neither needs to be exact:
-	// the fault schedule only has to land inside the run.
+	// bootstrap time does not eat into the convergence window, and
+	// estBoot is where the launcher guesses the members started
+	// ticking when it converts the crashrestart fault's tick window
+	// into a wall-clock kill time. Neither needs to be exact: the
+	// fault schedule only has to land inside the run. healGrace then
+	// extends the deadline past the kill by the detector's dead
+	// threshold (20 heartbeats — sized for a single-CPU race-built
+	// box, where merely starting one instrumented child process can
+	// starve a sibling's announce loop for a second) plus respawn and
+	// reconvergence time for the fresh incarnation.
 	bootGrace = 2 * time.Second
 	estBoot   = 400 * time.Millisecond
+	healGrace = 5 * time.Second
 )
 
 // clusterScenario is the shared fault script: both the launcher and
@@ -80,10 +98,11 @@ func clusterScenario() chaos.Scenario {
 			// Three sides over 96 hosts: each member's 32-host span is
 			// its own island until the window closes.
 			{Kind: chaos.FaultPartition, Start: 20, End: 70, Parts: members},
-			// Executed by the launcher, not chaos.Net: the member
-			// process driving the last span is killed around this tick
-			// and restarted with Replace bootstrap.
-			{Kind: chaos.FaultCrashRestart, Start: 100, End: 101},
+			// Injected through the supervisor's Kill hook: the member
+			// process owning [64,96) dies around this tick; detection
+			// and the Replace respawn are the supervisor's own.
+			{Kind: chaos.FaultCrashRestart, Start: 100, End: 101,
+				Lo: (members - 1) * hosts / members, Hi: hosts},
 		},
 	}
 }
@@ -91,7 +110,6 @@ func clusterScenario() chaos.Scenario {
 func main() {
 	role := flag.String("role", "launcher", "internal: launcher or member")
 	span := flag.String("span", "", "internal: member host range lo:hi")
-	listen := flag.String("listen", "127.0.0.1:0", "internal: member listen address")
 	seeds := flag.String("seeds", "", "internal: bootstrap seed address list")
 	deadline := flag.Int64("deadline", 0, "internal: shared run deadline, unix nanoseconds")
 	restart := flag.Bool("restart", false,
@@ -99,7 +117,7 @@ func main() {
 	flag.Parse()
 	var err error
 	if *role == "member" {
-		err = runMember(*span, *listen, *seeds, *deadline, *restart)
+		err = runMember(*span, *seeds, *deadline, *restart)
 	} else {
 		err = runLauncher()
 	}
@@ -129,18 +147,6 @@ func truth() float64 {
 	return sum / hosts
 }
 
-// reserveAddr picks a free loopback port for the seed member by
-// binding an ephemeral listener and releasing it (same idiom as
-// examples/live_cluster).
-func reserveAddr() (string, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return "", err
-	}
-	addr := ln.Addr().String()
-	return addr, ln.Close()
-}
-
 // report is one member's MEMBER line: its span, mean estimate, mass
 // census (endowment w0/v0, final agents+in-flight w1/v1), and fault
 // accounting.
@@ -153,9 +159,18 @@ type report struct {
 	sent, dropped  int64
 }
 
-type memberProc struct {
-	cmd *exec.Cmd
-	out *bufio.Scanner
+// capture is one incarnation's collected stdout; the exec.Cmd copier
+// goroutine writes it, the launcher reads it after the supervisor's
+// Run (which waits all processes out) has returned.
+type capture struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (c *capture) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.Write(p)
 }
 
 func runLauncher() error {
@@ -173,130 +188,110 @@ func runLauncher() error {
 		}
 	}
 
-	seedAddr, err := reserveAddr()
-	if err != nil {
-		return err
-	}
-	runDeadline := time.Now().Add(bootGrace + time.Duration(scen.Rounds)*pace)
+	runDeadline := time.Now().Add(bootGrace + time.Duration(scen.Rounds)*pace + healGrace)
 
-	spawn := func(i int, listen string, restart bool) (*memberProc, error) {
+	// One capture per incarnation, keyed name/incarnation: the killed
+	// incarnation's partial output stays separate from its healer's.
+	var mu sync.Mutex
+	captures := map[string]*capture{}
+
+	specs := make([]supervise.Member, members)
+	for i := range specs {
+		specs[i] = supervise.Member{
+			Name: fmt.Sprintf("m%d", i),
+			Lo:   gossip.NodeID(i * hosts / members),
+			Hi:   gossip.NodeID((i + 1) * hosts / members),
+		}
+	}
+
+	var sup *supervise.Supervisor
+	spawn := func(m supervise.Member, incarnation int) (*exec.Cmd, error) {
 		args := []string{"-role=member",
-			fmt.Sprintf("-span=%d:%d", i*hosts/members, (i+1)*hosts/members),
-			"-listen=" + listen, "-seeds=" + seedAddr,
+			fmt.Sprintf("-span=%d:%d", m.Lo, m.Hi),
+			"-seeds=" + sup.SeedAddr(),
 			fmt.Sprintf("-deadline=%d", runDeadline.UnixNano())}
-		if restart {
+		if incarnation > 0 {
 			args = append(args, "-restart")
 		}
 		cmd := exec.Command(os.Args[0], args...)
+		c := &capture{}
+		mu.Lock()
+		captures[fmt.Sprintf("%s/%d", m.Name, incarnation)] = c
+		mu.Unlock()
+		cmd.Stdout = c
 		cmd.Stderr = os.Stderr
-		stdout, err := cmd.StdoutPipe()
-		if err != nil {
-			return nil, err
-		}
-		if err := cmd.Start(); err != nil {
-			return nil, fmt.Errorf("spawning member %d: %w", i, err)
-		}
-		return &memberProc{cmd: cmd, out: bufio.NewScanner(stdout)}, nil
+		return cmd, nil
 	}
 
-	procs := make([]*memberProc, members)
-	for i := 0; i < members; i++ {
-		listen := "127.0.0.1:0"
-		if i == 0 {
-			listen = seedAddr // the seed member serves the advertised address
-		}
-		if procs[i], err = spawn(i, listen, false); err != nil {
-			return err
-		}
+	sup, err := supervise.New(supervise.Config{
+		Total:   hosts,
+		Members: specs,
+		Spawn:   spawn,
+		// A 2s dead threshold (20 × 100ms heartbeats): far above the
+		// announce cadence, because on a single-CPU machine a
+		// race-built child process starting up starves its siblings'
+		// announce loops for up to a second, and a live-but-starved
+		// member must never be restarted.
+		Detector:       health.Config{HeartbeatEvery: heartbeat, SuspectFactor: 10, DeadFactor: 20},
+		RestartBackoff: backoff.Policy{Min: 20 * time.Millisecond, Max: 100 * time.Millisecond, Jitter: 0.25},
+		Poll:           10 * time.Millisecond,
+		RecoveryGrace:  10 * time.Second,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
 	}
+	defer sup.Close()
 
-	// Enforce the crashrestart fault: kill the last member's process
-	// around the scheduled tick, then bring up a replacement that
-	// reclaims the span with a fresh endowment.
-	crashed := members - 1
-	type respawn struct {
-		p   *memberProc
-		err error
-	}
-	respawned := make(chan respawn, 1)
+	// Inject the crashrestart fault through the supervisor's chaos
+	// hook; everything after the kill is the supervisor's own.
+	killErr := make(chan error, 1)
 	go func() {
 		time.Sleep(estBoot + time.Duration(crash.Start)*pace)
-		if err := procs[crashed].cmd.Process.Kill(); err != nil {
-			respawned <- respawn{err: fmt.Errorf("killing member %d: %w", crashed, err)}
-			return
-		}
-		fmt.Printf("chaos: killed member %d (crashrestart tick %d); respawning with Replace bootstrap\n",
-			crashed, crash.Start)
-		p, err := spawn(crashed, "127.0.0.1:0", true)
-		respawned <- respawn{p: p, err: err}
+		killErr <- sup.Kill(specs[members-1].Name)
 	}()
 
-	// scan reads one incarnation's output to EOF, passing chatter
-	// through, and returns its MEMBER report if it printed one.
-	scan := func(p *memberProc) (report, bool, error) {
-		var r report
-		found := false
-		for p.out.Scan() {
-			line := p.out.Text()
+	ctx, cancel := context.WithDeadline(context.Background(), runDeadline.Add(bootGrace))
+	defer cancel()
+	if err := sup.Run(ctx); err != nil {
+		return fmt.Errorf("supervisor: %w", err)
+	}
+	if err := <-killErr; err != nil {
+		return fmt.Errorf("injecting crashrestart: %w", err)
+	}
+
+	// Harvest the MEMBER reports. The killed incarnation died by
+	// SIGKILL mid-run and printed none; its replacement did.
+	reports := make([]report, 0, members)
+	mu.Lock()
+	defer mu.Unlock()
+	for key, c := range captures {
+		sc := bufio.NewScanner(&c.buf)
+		for sc.Scan() {
+			line := sc.Text()
 			if !strings.HasPrefix(line, "MEMBER ") {
 				fmt.Println(line)
 				continue
 			}
+			var r report
 			if _, err := fmt.Sscanf(line, "MEMBER %d %d %g %g %g %g %g %d %d %d %d",
 				&r.lo, &r.hi, &r.mean, &r.w0, &r.v0, &r.w1, &r.v1,
 				&r.lost, &r.kills, &r.sent, &r.dropped); err != nil {
-				return r, false, fmt.Errorf("parsing report %q: %w", line, err)
+				return fmt.Errorf("%s: parsing report %q: %w", key, line, err)
 			}
-			found = true
+			reports = append(reports, r)
 		}
-		return r, found, nil
+	}
+	if len(reports) != members {
+		return fmt.Errorf("got %d MEMBER reports, want %d (one per span)", len(reports), members)
 	}
 
-	reports := make([]report, 0, members)
-	for i := 0; i < members; i++ {
-		r, found, err := scan(procs[i])
-		if err != nil {
-			return fmt.Errorf("member %d: %w", i, err)
-		}
-		waitErr := procs[i].cmd.Wait()
-		if i == crashed {
-			// The first incarnation died by SIGKILL mid-run: no report
-			// and a signal exit are exactly what the fault prescribes.
-			if found {
-				return fmt.Errorf("member %d reported before its scheduled crash", i)
-			}
-			if waitErr == nil {
-				return fmt.Errorf("member %d exited cleanly instead of crashing", i)
-			}
-			continue
-		}
-		if waitErr != nil {
-			return fmt.Errorf("member %d: %w", i, waitErr)
-		}
-		if !found {
-			return fmt.Errorf("member %d exited without a MEMBER report", i)
-		}
-		reports = append(reports, r)
-	}
-	rs := <-respawned
-	if rs.err != nil {
-		return rs.err
-	}
-	r, found, err := scan(rs.p)
-	if err != nil {
-		return fmt.Errorf("restarted member: %w", err)
-	}
-	if err := rs.p.cmd.Wait(); err != nil {
-		return fmt.Errorf("restarted member: %w", err)
-	}
-	if !found {
-		return fmt.Errorf("restarted member exited without a MEMBER report")
-	}
-	reports = append(reports, r)
-
-	// Verdicts — the same three the chaos package's live tests apply.
+	// Verdicts — the chaos-package trio plus the supervisor's own.
+	stats := sup.Stats()
 	want := truth()
-	fmt.Printf("chaos scenario %q over TCP across %d processes (n=%d, partition ticks [%d,%d), λ=%g):\n",
+	fmt.Printf("chaos scenario %q over TCP across %d supervised processes (n=%d, partition ticks [%d,%d), λ=%g):\n",
 		scen.Name, members, hosts, part.Start, part.End, lambda)
 	failed := false
 	var w0, v0, w1, v1 float64
@@ -316,6 +311,10 @@ func runLauncher() error {
 		kills += r.kills
 	}
 	fmt.Printf("  truth %.3f\n", want)
+	for _, h := range stats.Heals {
+		fmt.Printf("  heal: %s incarnation %d — detect %v, recover %v\n",
+			h.Member, h.Incarnation, h.DetectLatency().Round(time.Millisecond), h.RecoverLatency().Round(time.Millisecond))
+	}
 	audit := chaos.LiveMassAudit(w0, v0, w1, v1, 0.1)
 	fmt.Printf("  mass audit: ratio %.4f -> %.4f, drift %.3g (tol %g)\n",
 		v0/w0, v1/w1, audit.MaxDrift, audit.Tolerance)
@@ -326,18 +325,24 @@ func runLauncher() error {
 		return errors.New("the partition destroyed no traffic — the fault never bit")
 	case kills == 0:
 		return errors.New("no TCP links were severed — chaos.Net did not reach the transport core")
+	case stats.Restarts == 0 || len(stats.Heals) == 0:
+		return fmt.Errorf("the supervisor never healed the killed member: %d restarts, %d heals",
+			stats.Restarts, len(stats.Heals))
+	case len(stats.Failed) != 0:
+		return fmt.Errorf("members failed permanently under supervision: %v", stats.Failed)
 	case audit.Violations != 0:
 		return fmt.Errorf("mass audit FLAGGED an honest run (drift %.3g > tol %g)",
 			audit.MaxDrift, audit.Tolerance)
 	}
-	fmt.Println("  audit clean; all spans reconverged after partition heal and crash restart")
+	fmt.Println("  audit clean; all spans reconverged after partition heal and supervised crash restart")
 	return nil
 }
 
 // runMember is one cluster process: a span of λ-reverting agents on a
-// TCP transport wrapped in the scenario's chaos.Net, running until the
-// shared deadline and reporting estimate plus mass census.
-func runMember(spanArg, listen, seeds string, deadlineNano int64, restarted bool) error {
+// TCP transport wrapped in the scenario's chaos.Net, heartbeating to
+// the supervisor seed, running until the shared deadline and
+// reporting estimate plus mass census.
+func runMember(spanArg, seeds string, deadlineNano int64, restarted bool) error {
 	var lo, hi int
 	if _, err := fmt.Sscanf(spanArg, "%d:%d", &lo, &hi); err != nil {
 		return fmt.Errorf("member: bad -span %q: %w", spanArg, err)
@@ -354,7 +359,7 @@ func runMember(spanArg, listen, seeds string, deadlineNano int64, restarted bool
 	}
 
 	tr, err := transport.NewTCP(
-		transport.WithGroups(transport.Group{Lo: span.Lo, Hi: span.Hi, Addr: listen}),
+		transport.WithGroups(transport.Group{Lo: span.Lo, Hi: span.Hi, Addr: "127.0.0.1:0"}),
 		transport.WithLocal(0),
 		transport.WithReconnectBackoff(20*time.Millisecond, 200*time.Millisecond),
 	)
@@ -380,7 +385,7 @@ func runMember(spanArg, listen, seeds string, deadlineNano int64, restarted bool
 		Workers: 4, Transport: cnet, Span: span,
 		Bootstrap: &live.Bootstrap{
 			Seeds: strings.Split(seeds, ","), Span: span, Total: hosts,
-			Retry: 50 * time.Millisecond, Replace: restarted,
+			Retry: 50 * time.Millisecond, ReAnnounce: heartbeat, Replace: restarted,
 		},
 	})
 	if err != nil {
@@ -416,8 +421,7 @@ func runMember(spanArg, listen, seeds string, deadlineNano int64, restarted bool
 	for _, l := range cnet.Lost() {
 		lost += l.Count
 	}
-	tcp, _ := transport.AsTCP(cnet) // chaos.Net unwraps to the TCP core
 	fmt.Printf("MEMBER %d %d %g %g %g %g %g %d %d %d %d\n",
-		lo, hi, mean, w0, v0, w1, v1, lost, tcp.Kills(), engine.Sent(), engine.Dropped())
+		lo, hi, mean, w0, v0, w1, v1, lost, tr.Kills(), engine.Sent(), engine.Dropped())
 	return nil
 }

@@ -38,10 +38,16 @@ const (
 	// Period-th round during [Start, End) — the round-engine model of
 	// a host group ticking on a skewed, slower clock.
 	FaultClockSkew = "clockskew"
-	// FaultCrashRestart is the live-cluster fault: one member process
-	// crashes at Start and restarts at End, reclaiming its span via
-	// Bootstrap Replace. The round engine rejects it; the live
-	// cluster example and Net interpret it.
+	// FaultCrashRestart is the crash-with-amnesia fault: the hosts in
+	// [Lo, Hi) — a member process's span — crash at round Start and
+	// restart at End with RESET protocol state, their accumulated
+	// gossip mass gone and only the initial endowment re-sourced.
+	// Unlike FaultOutage, which revives hosts with their state intact,
+	// this is the round-engine model of the live cluster's
+	// kill-and-Replace choreography (internal/supervise restarts the
+	// member, Bootstrap Replace reclaims the span). The round runner
+	// needs mass semantics to reset, so it rejects crashrestart under
+	// ProtoSketchReset.
 	FaultCrashRestart = "crashrestart"
 )
 
@@ -214,6 +220,12 @@ func (s Scenario) validateFault(f Fault) error {
 		if f.End <= f.Start {
 			return fmt.Errorf("crashrestart window [%d,%d) is empty", f.Start, f.End)
 		}
+		if f.Lo < 0 || f.Hi <= f.Lo || f.Hi > s.N {
+			return fmt.Errorf("crashrestart region [%d,%d) out of range [0,%d)", f.Lo, f.Hi, s.N)
+		}
+		if f.Hi-f.Lo >= s.N {
+			return fmt.Errorf("crashrestart region covers the whole population")
+		}
 	default:
 		return fmt.Errorf("unknown fault kind %q", f.Kind)
 	}
@@ -262,9 +274,9 @@ func (a Adversary) byzantineCount(n int) int {
 	return c
 }
 
-// liveOnly reports whether the fault only makes sense on the live
-// engine (the round runner rejects it).
-func (f Fault) liveOnly() bool { return f.Kind == FaultCrashRestart }
+// needsMass reports whether the round runner needs mass semantics
+// (a Reset target) to execute the fault.
+func (f Fault) needsMass() bool { return f.Kind == FaultCrashRestart }
 
 // catalog is the named scenario registry. One entry per fault family
 // plus the Byzantine baselines; ByName/Names expose it.
@@ -284,6 +296,15 @@ var catalog = map[string]Scenario{
 		Name: "churn-storm", N: 512, Rounds: 100, Protocol: ProtoRevert, Lambda: 0.1,
 		Faults:      []Fault{{Kind: FaultChurnStorm, Start: 10, Rate: 0.05, Period: 20, Burst: 3}},
 		RecoveryTol: 0.10,
+	},
+	"crash-restart": {
+		Name: "crash-restart", N: 512, Rounds: 100, Protocol: ProtoRevert, Lambda: 0.1,
+		// The last quarter of the id space — one member's span in a
+		// four-member cluster — crashes at round 20 and restarts with
+		// amnesia at round 45. Same λ=0.1 intrinsic-bias floor as
+		// regional-outage.
+		Faults:      []Fault{{Kind: FaultCrashRestart, Start: 20, End: 45, Lo: 384, Hi: 512}},
+		RecoveryTol: 0.15,
 	},
 	"clock-skew": {
 		Name: "clock-skew", N: 512, Rounds: 100, Protocol: ProtoRevert, Lambda: 0.1,

@@ -198,15 +198,23 @@ func TestPartitionHealConvergence(t *testing.T) {
 	}
 }
 
-// TestRunRejects pins the runner's refusal cases: live-only faults
-// and adversaries on the columnar backend.
+// TestRunRejects pins the runner's refusal cases: crashrestart
+// without a region or without mass semantics, and adversaries on the
+// columnar backend.
 func TestRunRejects(t *testing.T) {
 	s := Scenario{
-		Name: "live-only", N: 16, Rounds: 4, Protocol: ProtoPushSum,
+		Name: "crash-noregion", N: 16, Rounds: 4, Protocol: ProtoPushSum,
 		Faults: []Fault{{Kind: FaultCrashRestart, Start: 1, End: 2}},
 	}
 	if _, err := Run(s, 1); err == nil {
-		t.Fatalf("crashrestart accepted by the round runner")
+		t.Fatalf("crashrestart without a [Lo,Hi) region accepted")
+	}
+	s = Scenario{
+		Name: "crash-sketch", N: 16, Rounds: 4, Protocol: ProtoSketchReset,
+		Faults: []Fault{{Kind: FaultCrashRestart, Start: 1, End: 2, Lo: 8, Hi: 16}},
+	}
+	if _, err := Run(s, 1); err == nil {
+		t.Fatalf("crashrestart accepted without mass semantics to reset")
 	}
 	s = Scenario{
 		Name: "byz-columnar", N: 16, Rounds: 4, Protocol: ProtoPushSum,
@@ -214,5 +222,51 @@ func TestRunRejects(t *testing.T) {
 	}
 	if _, err := RunWith(s, 1, RunOpts{Columnar: true}); err == nil {
 		t.Fatalf("adversaries accepted on the columnar backend")
+	}
+}
+
+// TestCrashRestartHeals pins the crashrestart fault on the round
+// engine: the span crashes at Start (silence), restarts at End with
+// amnesia (reset endowment), the estimator damage peaks at-or-after
+// the restart injects the fresh mass, and gossip reabsorbs it —
+// recovery lands after the restart round with the mass audit clean on
+// both backends, byte-for-byte identical.
+func TestCrashRestartHeals(t *testing.T) {
+	s, ok := ByName("crash-restart")
+	if !ok {
+		t.Fatal("crash-restart missing from the catalog")
+	}
+	rep, err := Run(s, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	columnar, err := RunWith(s, 42, RunOpts{Columnar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trajectory) != len(columnar.Trajectory) {
+		t.Fatalf("trajectory lengths differ: %d vs %d", len(rep.Trajectory), len(columnar.Trajectory))
+	}
+	for r := range rep.Trajectory {
+		if rep.Trajectory[r] != columnar.Trajectory[r] {
+			t.Fatalf("classic/columnar parity broken at round %d: %g vs %g",
+				r, rep.Trajectory[r], columnar.Trajectory[r])
+		}
+	}
+	crash := s.Faults[0]
+	if rep.Audit.Violations != 0 {
+		t.Fatalf("honest crashrestart flagged: %d violations, first at %d (max drift %g)",
+			rep.Audit.Violations, rep.Audit.FirstViolation, rep.Audit.MaxDrift)
+	}
+	if rep.Damage.MaxRelErr <= rep.Damage.RecoveryTol {
+		t.Fatalf("fault never bit: max rel err %g within tol %g",
+			rep.Damage.MaxRelErr, rep.Damage.RecoveryTol)
+	}
+	if rep.Damage.RecoveryRound < crash.End {
+		t.Fatalf("recovery round %d precedes the restart at %d — the amnesia cost nothing",
+			rep.Damage.RecoveryRound, crash.End)
+	}
+	if rep.Damage.RecoveryRound < 0 {
+		t.Fatalf("population never recovered: %+v", rep.Damage)
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"dynagg/internal/env"
 	"dynagg/internal/failure"
 	"dynagg/internal/gossip"
+	"dynagg/internal/protocol/pushsum"
+	"dynagg/internal/protocol/pushsumrevert"
 	"dynagg/internal/xrand"
 )
 
@@ -162,7 +164,65 @@ func populationHooks(s Scenario, pop *env.Population, seed uint64) []gossip.Hook
 				burst = 1
 			}
 			hooks = append(hooks, failure.ChurnStorm(f.Start, f.Period, burst, f.Rate, pop, seed+uint64(i)*0x9e3779b97f4a7c15))
+		case FaultCrashRestart:
+			hooks = append(hooks, crashRestart(f.Start, f.End, f.Lo, f.Hi, pop))
 		}
 	}
 	return hooks
+}
+
+// crashRestart returns a BeforeRound hook executing the crashrestart
+// fault on the round engine: the region fails at start — silence,
+// exactly like RegionOutage — and revives at end with RESET protocol
+// state, so the region's accumulated gossip mass is gone and only the
+// initial endowment returns. Running as a fault hook (before the
+// audit's expectation hook) keeps the mass audit clean: the audit
+// measures the post-reset totals, just as the live audit censuses a
+// respawned member's fresh endowment.
+func crashRestart(start, end, lo, hi int, pop *env.Population) gossip.Hook {
+	return func(r int, e *gossip.Engine) {
+		switch r {
+		case start:
+			for id := lo; id < hi; id++ {
+				pop.Fail(gossip.NodeID(id))
+			}
+		case end:
+			for id := lo; id < hi; id++ {
+				resetHost(e, gossip.NodeID(id))
+				pop.Revive(gossip.NodeID(id))
+			}
+		}
+	}
+}
+
+// resetHost restores host id's protocol state to its initial
+// endowment on either backend, unwrapping Byzantine shims so the real
+// node resets (the adversary behaviour resumes on the fresh state,
+// as a re-infected restarted process would).
+func resetHost(e *gossip.Engine, id gossip.NodeID) {
+	switch col := e.Columnar().(type) {
+	case *pushsum.Columnar:
+		col.Reset(id)
+		return
+	case *pushsumrevert.Columnar:
+		col.Reset(id)
+		return
+	}
+	if e.Columnar() != nil {
+		return
+	}
+	ag := e.Agent(id)
+	for {
+		if b, isByz := ag.(byzantineAgent); isByz {
+			ag = b.unwrap()
+			continue
+		}
+		break
+	}
+	switch n := ag.(type) {
+	case *pushsum.Node:
+		n.Reset()
+	case *pushsumrevert.Node:
+		n.Reset()
+	}
 }

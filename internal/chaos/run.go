@@ -108,8 +108,9 @@ func RunWith(s Scenario, seed uint64, opts RunOpts) (*Report, error) {
 		return nil, err
 	}
 	for _, f := range s.Faults {
-		if f.liveOnly() {
-			return nil, fmt.Errorf("chaos: scenario %q: fault %q only runs on the live engine", s.Name, f.Kind)
+		if f.needsMass() && s.Protocol == ProtoSketchReset {
+			return nil, fmt.Errorf("chaos: scenario %q: fault %q needs a mass protocol to reset, scenario runs %q",
+				s.Name, f.Kind, s.Protocol)
 		}
 	}
 	if opts.Columnar && len(s.Adversaries) > 0 {

@@ -11,8 +11,10 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"dynagg/internal/gossip"
+	"dynagg/internal/gossip/live/health"
 	"dynagg/internal/protocol/multi"
 	"dynagg/internal/protocol/pushsumrevert"
 )
@@ -99,18 +101,24 @@ func parseAPIDoc(t *testing.T) []apiExample {
 	return examples
 }
 
-// docFixtures builds the two server states the documented examples run
-// against: "main" is a converged 96-worker gateway (aggregates load and
-// temp primed, cold registered but never fed, membership coverage
-// faked in so /healthz reports ok), "starting" is a freshly built one.
+// docFixtures builds the three server states the documented examples
+// run against: "main" is a converged 96-worker gateway (aggregates
+// load and temp primed, cold registered but never fed, membership
+// coverage faked in so /healthz reports ok), "starting" is a freshly
+// built one, and "degraded" is the main fixture with the failure
+// detector — driven on a virtual clock — judging worker span [0,48)
+// dead.
 func docFixtures(t *testing.T) map[string]http.Handler {
 	t.Helper()
 	const workers = 96
-	build := func(names []string) *Server {
+	var clockOffset time.Duration // the degraded fixture's virtual clock
+	base := time.Now()
+	build := func(names []string, h health.Config) *Server {
 		s, err := New(Config{
 			Workers:    workers,
 			Seeds:      []string{"127.0.0.1:1"}, // never dialed: engine not started
 			Aggregates: names,
+			Health:     h,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -118,24 +126,41 @@ func docFixtures(t *testing.T) map[string]http.Handler {
 		t.Cleanup(func() { s.Close() })
 		return s
 	}
-
-	main := build([]string{"load", "temp", "cold"})
-	for tick := 0; tick <= DefaultSmoothWindow; tick++ {
-		main.obs.BeginRound(tick)
-		main.obs.Receive(multi.Bundle{Masses: map[string]any{
-			"load": pushsumrevert.Mass{W: 0.5, V: 0.5 * DemoMean("load", workers)},
-			"temp": pushsumrevert.Mass{W: 0.5, V: 0.5 * DemoMean("temp", workers)},
-		}})
-		main.obs.EndRound(tick)
+	prime := func(s *Server) {
+		for tick := 0; tick <= DefaultSmoothWindow; tick++ {
+			s.obs.BeginRound(tick)
+			s.obs.Receive(multi.Bundle{Masses: map[string]any{
+				"load": pushsumrevert.Mass{W: 0.5, V: 0.5 * DemoMean("load", workers)},
+				"temp": pushsumrevert.Mass{W: 0.5, V: 0.5 * DemoMean("temp", workers)},
+			}})
+			s.obs.EndRound(tick)
+		}
+		if err := s.tcp.RegisterGroup(0, gossip.NodeID(workers), "127.0.0.1:19321"); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if err := main.tcp.RegisterGroup(0, gossip.NodeID(workers), "127.0.0.1:19321"); err != nil {
-		t.Fatal(err)
-	}
 
-	starting := build([]string{"load"})
+	main := build([]string{"load", "temp", "cold"}, health.Config{})
+	prime(main)
+
+	degraded := build([]string{"load", "temp", "cold"}, health.Config{
+		HeartbeatEvery: 100 * time.Millisecond,
+		Now:            func() time.Time { return base.Add(clockOffset) },
+	})
+	prime(degraded)
+	// Both halves of the worker population heartbeat once; then ten
+	// virtual seconds pass and only [48,96) is heard again, so [0,48)
+	// crosses the dead threshold while the rest stays alive.
+	degraded.det.Observe(0, 48, "127.0.0.1:19321", 0)
+	degraded.det.Observe(48, 96, "127.0.0.1:19322", 0)
+	clockOffset = 10 * time.Second
+	degraded.det.Observe(48, 96, "127.0.0.1:19322", 0)
+
+	starting := build([]string{"load"}, health.Config{})
 	return map[string]http.Handler{
 		"main":     main.Handler(),
 		"starting": starting.Handler(),
+		"degraded": degraded.Handler(),
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"dynagg/internal/env"
 	"dynagg/internal/gossip"
 	"dynagg/internal/gossip/live"
+	"dynagg/internal/gossip/live/health"
 	"dynagg/internal/gossip/live/transport"
 	"dynagg/internal/protocol/multi"
 	"dynagg/internal/protocol/pushsumrevert"
@@ -428,4 +429,88 @@ func TestObserverRestartReclaimsSpan(t *testing.T) {
 
 	_, hs := startGateway(t, c, workers, []string{"load"})
 	waitConverged(t, hs.URL, "load", DemoMean("load", workers), 0.30, 30*time.Second)
+}
+
+// TestGatewayDegradesOnDeadWorkerSpan drives the failure detector on a
+// virtual clock (no cluster, no sleeps): /healthz flips ok → degraded
+// 503 when a worker span's heartbeats stop, reads stay 200 but carry
+// the degraded flag and the dead span, and a resurrection heartbeat
+// restores everything. Observer slots at or above Workers never count.
+func TestGatewayDegradesOnDeadWorkerSpan(t *testing.T) {
+	const workers = 96
+	var offset time.Duration
+	base := time.Now()
+	s, err := New(Config{
+		Workers:    workers,
+		Seeds:      []string{"127.0.0.1:1"}, // never dialed: engine not started
+		Aggregates: []string{"load"},
+		Health: health.Config{
+			HeartbeatEvery: 100 * time.Millisecond,
+			Now:            func() time.Time { return base.Add(offset) },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for tick := 0; tick <= DefaultSmoothWindow; tick++ {
+		s.obs.BeginRound(tick)
+		s.obs.Receive(multi.Bundle{Masses: map[string]any{
+			"load": pushsumrevert.Mass{W: 0.5, V: 0.5 * DemoMean("load", workers)},
+		}})
+		s.obs.EndRound(tick)
+	}
+	if err := s.tcp.RegisterGroup(0, gossip.NodeID(workers), "127.0.0.1:19321"); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	// Both worker halves heartbeat, plus an observer slot that will
+	// fall silent too — it must never degrade the gateway.
+	s.det.Observe(0, 48, "127.0.0.1:19321", 0)
+	s.det.Observe(48, 96, "127.0.0.1:19322", 0)
+	s.det.Observe(96, 97, "127.0.0.1:19323", 0)
+
+	var hb struct {
+		Status   string `json:"status"`
+		Degraded bool   `json:"degraded"`
+	}
+	if st := getJSON(t, hs.URL+"/healthz", &hb); st != http.StatusOK || hb.Degraded {
+		t.Fatalf("healthy gateway: status %d, body %+v", st, hb)
+	}
+
+	// Ten virtual seconds pass; only [48,96) is heard again. [0,48)
+	// and the observer slot cross the dead threshold.
+	offset = 10 * time.Second
+	s.det.Observe(48, 96, "127.0.0.1:19322", 0)
+
+	if st := getJSON(t, hs.URL+"/healthz", &hb); st != http.StatusServiceUnavailable || hb.Status != "degraded" || !hb.Degraded {
+		t.Fatalf("degraded gateway: status %d, body %+v", st, hb)
+	}
+	var agg struct {
+		Name      string `json:"name"`
+		Degraded  bool   `json:"degraded"`
+		DeadSpans []struct {
+			Lo        int   `json:"lo"`
+			Hi        int   `json:"hi"`
+			SilenceMS int64 `json:"silence_ms"`
+		} `json:"dead_spans"`
+	}
+	if st := getJSON(t, hs.URL+"/aggregate/load", &agg); st != http.StatusOK {
+		t.Fatalf("degraded read: status %d", st)
+	}
+	if !agg.Degraded || len(agg.DeadSpans) != 1 || agg.DeadSpans[0].Lo != 0 || agg.DeadSpans[0].Hi != 48 {
+		t.Fatalf("degraded read body: %+v", agg)
+	}
+	if agg.DeadSpans[0].SilenceMS < 9000 {
+		t.Errorf("silence_ms = %d, want ≈10000", agg.DeadSpans[0].SilenceMS)
+	}
+
+	// Resurrection: one fresh heartbeat from [0,48) and the verdict
+	// snaps back to alive — the gateway recovers with no restart.
+	s.det.Observe(0, 48, "127.0.0.1:19321", 0)
+	if st := getJSON(t, hs.URL+"/healthz", &hb); st != http.StatusOK || hb.Status != "ok" || hb.Degraded {
+		t.Fatalf("recovered gateway: status %d, body %+v", st, hb)
+	}
 }

@@ -15,7 +15,7 @@
 //	GET  /aggregates        list every known aggregate with estimates
 //	GET  /aggregate/{name}  one aggregate's average / sum / size
 //	POST /aggregate/{name}  register a new named aggregate
-//	GET  /healthz           liveness + membership coverage
+//	GET  /healthz           liveness + membership coverage + degradation
 //	GET  /statusz           tick, span, membership map, staleness
 //
 // Reads return 503 until the observer has actually converged (received
@@ -24,6 +24,13 @@
 // gossip sampling noise, so served values are a trailing-window mean
 // over the last SmoothWindow ticks; /statusz reports per-aggregate
 // staleness (ticks since mass last arrived) alongside.
+//
+// Degradation is graceful and loud: a failure detector (package
+// health) rides the membership heartbeat traffic, and when a worker
+// span goes dead the gateway keeps serving its last converged
+// estimates — flagged `degraded` with the dead span list on reads and
+// /statusz — while /healthz flips to 503 so load balancers rotate the
+// gateway out until the supervisor heals the span.
 package gateway
 
 import (
@@ -38,6 +45,7 @@ import (
 	"dynagg/internal/env"
 	"dynagg/internal/gossip"
 	"dynagg/internal/gossip/live"
+	"dynagg/internal/gossip/live/health"
 	"dynagg/internal/gossip/live/transport"
 	"dynagg/internal/protocol/multi"
 	"dynagg/internal/protocol/pushsumrevert"
@@ -80,6 +88,10 @@ type Config struct {
 	// BootstrapTimeout bounds the membership wait (0 means the
 	// live.Bootstrap default).
 	BootstrapTimeout time.Duration
+	// Health tunes the failure detector behind the degraded flag; its
+	// HeartbeatEvery should match the workers' keepalive cadence. The
+	// zero value matches the 1s bootstrap default.
+	Health health.Config
 }
 
 // Defaults for the zero Config fields.
@@ -95,6 +107,7 @@ type Server struct {
 	cfg   Config
 	obs   *observerAgent
 	tcp   *transport.TCP
+	det   *health.Detector
 	eng   *live.Engine
 	mux   *http.ServeMux
 	start time.Time
@@ -167,9 +180,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("gateway: %w", err)
 	}
 	s := &Server{
-		cfg:   cfg,
-		obs:   obs,
-		tcp:   tcp,
+		cfg: cfg,
+		obs: obs,
+		tcp: tcp,
+		// The detector hears every worker span through this transport:
+		// the seeds' announce replies and membership pushes carry relayed
+		// freshness ages for the whole population, refreshed by our own
+		// keepalive cadence.
+		det:   health.Attach(tcp, cfg.Health),
 		eng:   eng,
 		start: time.Now(),
 		done:  make(chan struct{}),
@@ -277,6 +295,32 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// spanBody is one dead worker span in a degradation report.
+type spanBody struct {
+	Lo   int    `json:"lo"`
+	Hi   int    `json:"hi"`
+	Addr string `json:"addr"`
+	// SilenceMS is how long the span has been unheard, in milliseconds.
+	SilenceMS int64 `json:"silence_ms"`
+}
+
+// deadSpans lists the worker spans the failure detector currently
+// judges dead. Observer slots (at or above Workers) come and go freely
+// and never degrade the gateway.
+func (s *Server) deadSpans() []spanBody {
+	out := make([]spanBody, 0, 2)
+	for _, sp := range s.det.DeadSpans() {
+		if int(sp.Lo) >= s.cfg.Workers {
+			continue
+		}
+		out = append(out, spanBody{
+			Lo: int(sp.Lo), Hi: int(sp.Hi), Addr: sp.Addr,
+			SilenceMS: sp.Silence.Milliseconds(),
+		})
+	}
+	return out
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -284,6 +328,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	// Degradation does not turn reads into errors: the observer still
+	// holds the last converged estimates, and serving them flagged is
+	// strictly more useful than a 503 — that is what "graceful" means.
+	// Consumers that must not act on drifting data check `degraded`.
+	type aggregateResponse struct {
+		aggregateBody
+		Degraded  bool       `json:"degraded"`
+		DeadSpans []spanBody `json:"dead_spans"`
+	}
 	name := r.PathValue("name")
 	snap, status := s.obs.read(name)
 	switch status {
@@ -292,7 +345,10 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	case readNotConverged:
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "not converged"})
 	default:
-		writeJSON(w, http.StatusOK, snap)
+		dead := s.deadSpans()
+		writeJSON(w, http.StatusOK, aggregateResponse{
+			aggregateBody: snap, Degraded: len(dead) > 0, DeadSpans: dead,
+		})
 	}
 }
 
@@ -345,14 +401,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status  string `json:"status"`
 		Covered bool   `json:"covered"`
 		Tick    int    `json:"tick"`
+		// Degraded flips when a counted worker span is judged dead.
+		Degraded bool `json:"degraded"`
 	}
 	tick := s.obs.tick()
 	covered := s.tcp.Covers(s.cfg.Workers)
-	if covered && tick > 0 {
-		writeJSON(w, http.StatusOK, healthBody{Status: "ok", Covered: covered, Tick: tick})
-		return
+	degraded := len(s.deadSpans()) > 0
+	switch {
+	case !covered || tick == 0:
+		writeJSON(w, http.StatusServiceUnavailable, healthBody{Status: "starting", Covered: covered, Tick: tick, Degraded: degraded})
+	case degraded:
+		// A dead worker span means estimates may drift until the
+		// supervisor heals it; 503 here rotates this gateway out of a
+		// load balancer while /aggregate reads stay available, flagged.
+		writeJSON(w, http.StatusServiceUnavailable, healthBody{Status: "degraded", Covered: covered, Tick: tick, Degraded: true})
+	default:
+		writeJSON(w, http.StatusOK, healthBody{Status: "ok", Covered: covered, Tick: tick, Degraded: false})
 	}
-	writeJSON(w, http.StatusServiceUnavailable, healthBody{Status: "starting", Covered: covered, Tick: tick})
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -376,6 +441,8 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		Workers       int           `json:"workers"`
 		Tick          int           `json:"tick"`
 		UptimeSeconds float64       `json:"uptime_seconds"`
+		Degraded      bool          `json:"degraded"`
+		DeadSpans     []spanBody    `json:"dead_spans"`
 		Membership    []memberBody  `json:"membership"`
 		Sent          int64         `json:"sent"`
 		Dropped       int64         `json:"dropped"`
@@ -390,11 +457,14 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	for _, st := range s.obs.statuses() {
 		aggs = append(aggs, aggStatus{Name: st.name, Converged: st.converged, StalenessTicks: st.staleness})
 	}
+	dead := s.deadSpans()
 	writeJSON(w, http.StatusOK, statusBody{
 		Span:          fmt.Sprintf("[%d,%d)", s.cfg.Workers, s.cfg.Workers+1),
 		Workers:       s.cfg.Workers,
 		Tick:          s.obs.tick(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Degraded:      len(dead) > 0,
+		DeadSpans:     dead,
 		Membership:    members,
 		Sent:          s.tcp.Sent(),
 		Dropped:       s.tcp.Dropped(),

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"dynagg/internal/backoff"
 	"dynagg/internal/gossip/live/transport"
 )
 
@@ -120,6 +121,13 @@ func (b *Bootstrap) Run(ctx context.Context, tr *transport.TCP) error {
 	}
 	deadline := time.Now().Add(timeout)
 	var lastErr error
+	// The first announce fires immediately; the rounds after it back
+	// off exponentially (capped at 4× the configured retry, ±25%
+	// jitter). A seed that is not up yet gets a few brisk retries, then
+	// a steady desynchronized trickle instead of a metronome of
+	// connection-refused churn — and when a whole cluster restarts at
+	// once, the jitter spreads the announce bursts apart.
+	pace := backoff.New(backoff.Policy{Min: retry, Max: 4 * retry, Jitter: 0.25})
 	var nextAnnounce time.Time // zero: announce immediately
 	for {
 		if !time.Now().Before(nextAnnounce) {
@@ -140,7 +148,7 @@ func (b *Bootstrap) Run(ctx context.Context, tr *transport.TCP) error {
 					lastErr = err
 				}
 			}
-			nextAnnounce = time.Now().Add(retry)
+			nextAnnounce = time.Now().Add(pace.Next())
 		}
 		if tr.Covers(b.Total) {
 			return nil
@@ -205,13 +213,18 @@ func (b *Bootstrap) KeepAlive(ctx context.Context, tr *transport.TCP) {
 	if self == "" {
 		return
 	}
-	ticker := time.NewTicker(every)
-	defer ticker.Stop()
+	// A jittered cadence (±25% around ReAnnounce), not a fixed ticker:
+	// in a deployment whose members all started together — the common
+	// case, they were launched by one script or one supervisor — fixed
+	// tickers stay phase-locked forever and every keepalive cycle slams
+	// all N announces into the seeds in the same instant. The jitter
+	// decorrelates the herds within a few cycles while keeping the mean
+	// cadence (and so the failure detector's expected heartbeat rate)
+	// at ReAnnounce.
+	pace := backoff.New(backoff.Policy{Min: every, Factor: 1, Jitter: 0.25})
 	for {
-		select {
-		case <-ctx.Done():
+		if err := pace.Sleep(ctx); err != nil {
 			return
-		case <-ticker.C:
 		}
 		for _, seed := range b.Seeds {
 			if seed == self {

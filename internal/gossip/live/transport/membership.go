@@ -28,7 +28,17 @@ const (
 
 	membershipOK     = 0
 	membershipReject = 1
+
+	// maxAgeMillis caps a freshness age on the wire (~49 days); larger
+	// claims decode as unknown. AgeUnknown is the sentinel decoded
+	// entries carry when the sender did not (or could not) report one.
+	maxAgeMillis = 1<<32 - 2
 )
+
+// AgeUnknown marks a membership entry with no freshness information:
+// the encoder predates the age section, or the seed has never heard a
+// direct announce for the span.
+const AgeUnknown = int64(-1)
 
 // appendSpanAddr encodes one (lo, hi, addr) triple.
 func appendSpanAddr(dst []byte, lo, hi gossip.NodeID, addr string) []byte {
@@ -83,7 +93,15 @@ func decodeAnnounce(src []byte) (lo, hi gossip.NodeID, addr string, replace bool
 // appendMembership encodes the ok reply: every group whose address is
 // known. Groups without an address are omitted — the peer cannot dial
 // them anyway, and it will learn them from a later announce.
-func appendMembership(dst []byte, groups []Group) []byte {
+//
+// ages, when non-nil, is parallel to groups and carries each span's
+// freshness in milliseconds since its last direct announce at the
+// sender (AgeUnknown when the sender has no observation). Ages ride as
+// a trailing section — one uvarint per kept entry, encoded as age+1
+// with 0 meaning unknown — the same additive-extension trick as the
+// announce replace flag: decoders that predate the section ignore
+// trailing bytes, and its absence decodes as all-unknown.
+func appendMembership(dst []byte, groups []Group, ages []int64) []byte {
 	dst = append(dst, membershipOK)
 	known := 0
 	for _, g := range groups {
@@ -95,6 +113,26 @@ func appendMembership(dst []byte, groups []Group) []byte {
 	for _, g := range groups {
 		if g.Addr != "" {
 			dst = appendSpanAddr(dst, g.Lo, g.Hi, g.Addr)
+		}
+	}
+	if ages == nil {
+		return dst
+	}
+	for i, g := range groups {
+		if g.Addr == "" {
+			continue
+		}
+		age := AgeUnknown
+		if i < len(ages) {
+			age = ages[i]
+		}
+		switch {
+		case age < 0:
+			dst = binary.AppendUvarint(dst, 0)
+		case age > maxAgeMillis:
+			dst = binary.AppendUvarint(dst, maxAgeMillis+1)
+		default:
+			dst = binary.AppendUvarint(dst, uint64(age)+1)
 		}
 	}
 	return dst
@@ -110,24 +148,28 @@ func appendMembershipReject(dst []byte, reason string) []byte {
 	return append(dst, reason...)
 }
 
-// decodeMembership parses a reply into its group table, or the
-// rejection reason when the seed refused the announce.
-func decodeMembership(src []byte) (entries []Group, reject string, err error) {
+// decodeMembership parses a reply into its group table (plus per-entry
+// freshness ages, AgeUnknown where absent), or the rejection reason
+// when the seed refused the announce. Ages are advisory: a missing or
+// garbled trailing age section decodes as all-unknown rather than
+// failing the table — an old peer, or a hostile one, can at worst
+// withhold freshness, never corrupt membership.
+func decodeMembership(src []byte) (entries []Group, ages []int64, reject string, err error) {
 	if len(src) == 0 {
-		return nil, "", fmt.Errorf("transport: empty membership payload")
+		return nil, nil, "", fmt.Errorf("transport: empty membership payload")
 	}
 	status, src := src[0], src[1:]
 	switch status {
 	case membershipReject:
 		rl, n := binary.Uvarint(src)
 		if n <= 0 || rl > maxRejectLen || uint64(len(src[n:])) < rl {
-			return nil, "", fmt.Errorf("transport: membership reject reason")
+			return nil, nil, "", fmt.Errorf("transport: membership reject reason")
 		}
-		return nil, string(src[n : n+int(rl)]), nil
+		return nil, nil, string(src[n : n+int(rl)]), nil
 	case membershipOK:
 		count, n := binary.Uvarint(src)
 		if n <= 0 || count > maxMembershipEntries {
-			return nil, "", fmt.Errorf("transport: membership entry count")
+			return nil, nil, "", fmt.Errorf("transport: membership entry count")
 		}
 		src = src[n:]
 		entries = make([]Group, 0, count)
@@ -135,12 +177,36 @@ func decodeMembership(src []byte) (entries []Group, reject string, err error) {
 			var g Group
 			g.Lo, g.Hi, g.Addr, src, err = decodeSpanAddr(src)
 			if err != nil {
-				return nil, "", err
+				return nil, nil, "", err
 			}
 			entries = append(entries, g)
 		}
-		return entries, "", nil
+		return entries, decodeMembershipAges(src, len(entries)), "", nil
 	default:
-		return nil, "", fmt.Errorf("transport: membership status %d", status)
+		return nil, nil, "", fmt.Errorf("transport: membership status %d", status)
 	}
+}
+
+// decodeMembershipAges parses the trailing freshness section: count
+// uvarints, each age+1 in milliseconds with 0 meaning unknown. Any
+// shortfall or out-of-range claim yields all-unknown.
+func decodeMembershipAges(src []byte, count int) []int64 {
+	ages := make([]int64, count)
+	for i := range ages {
+		ages[i] = AgeUnknown
+	}
+	for i := 0; i < count; i++ {
+		v, n := binary.Uvarint(src)
+		if n <= 0 || v > maxAgeMillis+1 {
+			for j := range ages {
+				ages[j] = AgeUnknown
+			}
+			return ages
+		}
+		src = src[n:]
+		if v > 0 {
+			ages[i] = int64(v - 1)
+		}
+	}
+	return ages
 }

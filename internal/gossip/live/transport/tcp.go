@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dynagg/internal/backoff"
 	"dynagg/internal/gossip"
 	"dynagg/internal/wire"
 )
@@ -144,7 +145,28 @@ type TCP struct {
 	closed     atomic.Bool
 	done       chan struct{}
 	wg         sync.WaitGroup
+
+	// announceAt records the last direct announce heard per span
+	// (keyed by Lo, value unix nanos) — the freshness a seed reports in
+	// the membership age section so non-seeds can run failure detectors
+	// on relayed knowledge.
+	announceAt sync.Map
+
+	// spanObs, when set, receives one call per liveness observation
+	// (direct announces and relayed membership ages). See
+	// SetSpanObserver.
+	spanObs atomic.Pointer[SpanObserver]
 }
+
+// SpanObserver receives span liveness observations from the membership
+// plane: one call per direct announce heard on a listener (age 0) and
+// one per relayed membership entry whose seed reported a freshness age
+// (elapsed time since the seed last heard that span announce).
+// Entries with unknown freshness are not delivered. Observers are
+// called from transport reader goroutines and must be fast and safe
+// for concurrent use — a health detector's Observe is the intended
+// consumer.
+type SpanObserver func(lo, hi gossip.NodeID, addr string, age time.Duration)
 
 var (
 	_ Transport  = (*TCP)(nil)
@@ -326,6 +348,49 @@ func (t *TCP) newPeer(addr string) *tcpPeer {
 }
 
 // ---- membership table ----
+
+// SetSpanObserver installs the liveness observer (nil removes it).
+// Install it before announce traffic starts; observations made while
+// no observer is set are not replayed.
+func (t *TCP) SetSpanObserver(fn SpanObserver) {
+	if fn == nil {
+		t.spanObs.Store(nil)
+		return
+	}
+	t.spanObs.Store(&fn)
+}
+
+// observeSpan feeds one liveness observation to the installed
+// observer, if any.
+func (t *TCP) observeSpan(lo, hi gossip.NodeID, addr string, age time.Duration) {
+	if fp := t.spanObs.Load(); fp != nil {
+		(*fp)(lo, hi, addr, age)
+	}
+}
+
+// membershipAges returns, parallel to groups, each span's freshness in
+// milliseconds: 0 for this process's own listening spans (we are
+// always current about ourselves), elapsed-since-last-announce for
+// spans that have announced directly to us, AgeUnknown otherwise.
+func (t *TCP) membershipAges(groups []Group) []int64 {
+	now := time.Now()
+	ages := make([]int64, len(groups))
+	for i, g := range groups {
+		ages[i] = AgeUnknown
+		if _, local := t.locals[g.Lo]; local {
+			ages[i] = 0
+			continue
+		}
+		if v, ok := t.announceAt.Load(g.Lo); ok {
+			if ms := now.Sub(time.Unix(0, v.(int64))).Milliseconds(); ms >= 0 {
+				ages[i] = ms
+			} else {
+				ages[i] = 0
+			}
+		}
+	}
+	return ages
+}
 
 // Groups returns a snapshot of the membership table with current
 // addresses.
@@ -531,19 +596,30 @@ func (t *TCP) mergeMembership(frame []byte) error {
 	if h.Kind != kindMembership {
 		return fmt.Errorf("transport: announce reply has kind %d, want membership", h.Kind)
 	}
-	entries, reject, err := decodeMembership(rest)
+	entries, ages, reject, err := decodeMembership(rest)
 	if err != nil {
 		return err
 	}
 	if reject != "" {
 		return fmt.Errorf("%w: seed rejected announce: %s", ErrSpanConflict, reject)
 	}
+	return t.mergeEntries(entries, ages)
+}
+
+// mergeEntries registers a seed-authored membership table and relays
+// each entry's freshness to the span observer. Addresses replace (the
+// seed already vetted the change); unknown ages are not observed —
+// they say nothing about liveness.
+func (t *TCP) mergeEntries(entries []Group, ages []int64) error {
 	var first error
-	for _, e := range entries {
+	for i, e := range entries {
 		// Membership tables are seed-authored: an address change for a
 		// known span is a replacement the seed already vetted.
 		if err := t.registerGroup(e.Lo, e.Hi, e.Addr, true); err != nil && first == nil {
 			first = err
+		}
+		if i < len(ages) && ages[i] >= 0 {
+			t.observeSpan(e.Lo, e.Hi, e.Addr, time.Duration(ages[i])*time.Millisecond)
 		}
 	}
 	return first
@@ -623,16 +699,18 @@ func (p *tcpPeer) dial() net.Conn {
 }
 
 // run is the peer's writer goroutine: it owns the cached connection,
-// dials lazily with exponential backoff, and coalesces every queued
-// frame into one buffered write burst flushed when the outbox runs
-// dry. A write failure drops the frame, kills the connection, and
-// leaves redialing to the next burst.
+// dials lazily with exponential backoff (the shared internal/backoff
+// policy: doubling from BackoffMin to BackoffMax with a little jitter,
+// so peers of a restarted process do not redial in lockstep), and
+// coalesces every queued frame into one buffered write burst flushed
+// when the outbox runs dry. A write failure drops the frame, kills the
+// connection, and leaves redialing to the next burst.
 func (p *tcpPeer) run() {
 	t := p.t
 	defer t.wg.Done()
 	var conn net.Conn
 	var bw *bufio.Writer
-	backoff := t.cfg.BackoffMin
+	redial := backoff.New(backoff.Policy{Min: t.cfg.BackoffMin, Max: t.cfg.BackoffMax, Jitter: 0.1})
 	var nextDial time.Time
 	hadConn := false
 	closeConn := func() {
@@ -674,16 +752,13 @@ func (p *tcpPeer) run() {
 					cc := c
 					p.conn.Store(&cc)
 					conn.SetWriteDeadline(time.Now().Add(tcpWriteDeadline))
-					backoff = t.cfg.BackoffMin
+					redial.Reset()
 					if hadConn {
 						t.reconnects.Add(1)
 					}
 					hadConn = true
 				} else {
-					nextDial = time.Now().Add(backoff)
-					if backoff *= 2; backoff > t.cfg.BackoffMax {
-						backoff = t.cfg.BackoffMax
-					}
+					nextDial = time.Now().Add(redial.Next())
 				}
 			}
 			if conn == nil {
@@ -899,11 +974,10 @@ func (t *TCP) handleFrame(c net.Conn, frame []byte) {
 		// Unsolicited membership (not an announce reply): merge what it
 		// lists, quietly — extra knowledge never hurts. Address changes
 		// replace (the frame is seed-authored; this is how the cluster
-		// learns a restarted observer's new address).
-		if entries, reject, err := decodeMembership(rest); err == nil && reject == "" {
-			for _, e := range entries {
-				_ = t.registerGroup(e.Lo, e.Hi, e.Addr, true)
-			}
+		// learns a restarted observer's new address), and relayed
+		// freshness ages feed the span observer.
+		if entries, ages, reject, err := decodeMembership(rest); err == nil && reject == "" {
+			_ = t.mergeEntries(entries, ages)
 		}
 	default:
 		_, payload, err := decodePayload(h, rest)
@@ -936,10 +1010,17 @@ func (t *TCP) handleAnnounce(c net.Conn, payload []byte) {
 	}
 	var reply []byte
 	regErr := t.registerGroup(lo, hi, addr, replace)
-	if regErr != nil {
-		reply = appendMembershipReject(nil, regErr.Error())
+	if regErr == nil {
+		// A direct announce is a heartbeat: record when we heard this
+		// span (the freshness the age section reports) and feed the
+		// observer. Idempotent keepalive re-announces land here too —
+		// that is the detector's steady diet.
+		t.announceAt.Store(lo, time.Now().UnixNano())
+		t.observeSpan(lo, hi, addr, 0)
+		gs := t.Groups()
+		reply = appendMembership(nil, gs, t.membershipAges(gs))
 	} else {
-		reply = appendMembership(nil, t.Groups())
+		reply = appendMembershipReject(nil, regErr.Error())
 	}
 	frame := wire.AppendHeader(nil, wire.Header{Kind: kindMembership})
 	frame = append(frame, reply...)
@@ -961,7 +1042,8 @@ func (t *TCP) handleAnnounce(c net.Conn, payload []byte) {
 // retries leaves that member waiting on coverage forever.
 func (t *TCP) pushMembership() {
 	frame := wire.AppendHeader(nil, wire.Header{Kind: kindMembership})
-	frame = appendMembership(frame, t.Groups())
+	gs := t.Groups()
+	frame = appendMembership(frame, gs, t.membershipAges(gs))
 	v := t.view.Load()
 	for i, p := range v.peers {
 		if _, local := t.locals[v.groups[i].Lo]; local {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -435,6 +436,97 @@ func TestTCPAnnounceBootstrapsMembership(t *testing.T) {
 	}
 }
 
+// TestTCPSpanObserverHeartbeats pins the liveness feed the health
+// detector rides: a seed's observer sees every direct announce with
+// age 0, and a joiner's observer learns the OTHER spans' freshness
+// from the seed's relayed membership ages — without ever hearing those
+// spans announce directly.
+func TestTCPSpanObserverHeartbeats(t *testing.T) {
+	mk := func(lo, hi gossip.NodeID) *TCP {
+		tr, err := NewTCP(TCPConfig{
+			Groups: []Group{{Lo: lo, Hi: hi, Addr: "127.0.0.1:0"}},
+			Local:  []int{0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	type obs struct {
+		lo  gossip.NodeID
+		age time.Duration
+	}
+	record := func(tr *TCP) *struct {
+		mu   sync.Mutex
+		seen []obs
+	} {
+		r := &struct {
+			mu   sync.Mutex
+			seen []obs
+		}{}
+		tr.SetSpanObserver(func(lo, hi gossip.NodeID, addr string, age time.Duration) {
+			r.mu.Lock()
+			r.seen = append(r.seen, obs{lo: lo, age: age})
+			r.mu.Unlock()
+		})
+		return r
+	}
+
+	seed, j1, j2 := mk(0, 4), mk(4, 8), mk(8, 12)
+	defer seed.Close()
+	defer j1.Close()
+	defer j2.Close()
+	seedObs, j1Obs := record(seed), record(j1)
+	seedAddr := seed.GroupAddr(0)
+	j1Addr, j2Addr := j1.GroupAddr(0), j2.GroupAddr(0)
+
+	if err := j1.Announce(seedAddr, 4, 8, j1Addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Announce(seedAddr, 8, 12, j2Addr); err != nil {
+		t.Fatal(err)
+	}
+	// j1 re-announces: its reply now carries the seed's ages for every
+	// span, including j2's, which j1 has never heard from directly.
+	if err := j1.Announce(seedAddr, 4, 8, j1Addr); err != nil {
+		t.Fatal(err)
+	}
+
+	seedObs.mu.Lock()
+	directs := 0
+	for _, o := range seedObs.seen {
+		if o.age != 0 {
+			t.Errorf("seed saw a non-direct observation: %+v", o)
+		}
+		if o.lo == 4 || o.lo == 8 {
+			directs++
+		}
+	}
+	seedObs.mu.Unlock()
+	if directs < 3 {
+		t.Errorf("seed observer saw %d direct announces, want >= 3", directs)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		j1Obs.mu.Lock()
+		sawJ2 := false
+		for _, o := range j1Obs.seen {
+			if o.lo == 8 && o.age >= 0 {
+				sawJ2 = true
+			}
+		}
+		j1Obs.mu.Unlock()
+		if sawJ2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("joiner observer never learned span [8,12)'s freshness from relayed ages")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // TestTCPAnnounceLateSeed reserves an address, announces into the
 // void (plain error, retryable), then starts the seed there and
 // retries — the late-starting-seed scenario bootstrap must survive.
@@ -659,21 +751,76 @@ func TestMembershipCodecRoundTrip(t *testing.T) {
 		{Lo: 4, Hi: 8, Addr: ""}, // unknown addr must be omitted
 		{Lo: 8, Hi: 12, Addr: "10.0.0.9:2222"},
 	}
-	entries, reject, err := decodeMembership(appendMembership(nil, groups))
+	entries, ages, reject, err := decodeMembership(appendMembership(nil, groups, nil))
 	if err != nil || reject != "" {
 		t.Fatalf("decode: %v %q", err, reject)
 	}
 	if len(entries) != 2 || entries[0] != groups[0] || entries[1] != groups[2] {
 		t.Fatalf("entries = %+v", entries)
 	}
-	_, reject, err = decodeMembership(appendMembershipReject(nil, "span taken"))
+	// No age section on the wire: every entry decodes as unknown.
+	if len(ages) != 2 || ages[0] != AgeUnknown || ages[1] != AgeUnknown {
+		t.Fatalf("ages without section = %v, want all AgeUnknown", ages)
+	}
+	_, _, reject, err = decodeMembership(appendMembershipReject(nil, "span taken"))
 	if err != nil || reject != "span taken" {
 		t.Fatalf("reject decode: %v %q", err, reject)
 	}
-	if _, _, err := decodeMembership(nil); err == nil {
+	if _, _, _, err := decodeMembership(nil); err == nil {
 		t.Error("empty membership payload accepted")
 	}
-	if _, _, err := decodeMembership([]byte{99}); err == nil {
+	if _, _, _, err := decodeMembership([]byte{99}); err == nil {
 		t.Error("unknown status byte accepted")
+	}
+}
+
+// TestMembershipAgesRoundTrip pins the additive freshness section:
+// ages survive the round trip aligned to the kept (addr-known)
+// entries, unknown stays unknown, oversized claims and truncated
+// sections decode as all-unknown, and a pre-ages decoder's payload
+// (no trailing section) still parses.
+func TestMembershipAgesRoundTrip(t *testing.T) {
+	groups := []Group{
+		{Lo: 0, Hi: 4, Addr: "127.0.0.1:1111"},
+		{Lo: 4, Hi: 8, Addr: ""}, // omitted entry: its age must be skipped too
+		{Lo: 8, Hi: 12, Addr: "10.0.0.9:2222"},
+		{Lo: 12, Hi: 16, Addr: "10.0.0.9:3333"},
+	}
+	ages := []int64{0, 123, 4500, AgeUnknown}
+	entries, got, reject, err := decodeMembership(appendMembership(nil, groups, ages))
+	if err != nil || reject != "" {
+		t.Fatalf("decode: %v %q", err, reject)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	want := []int64{0, 4500, AgeUnknown}
+	if len(got) != len(want) {
+		t.Fatalf("ages = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("age[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	// An age above the wire cap saturates to the cap — still "very
+	// stale", never garbage or a decode error.
+	_, got, _, err = decodeMembership(appendMembership(nil, groups[:1], []int64{maxAgeMillis + 5}))
+	if err != nil || got[0] != maxAgeMillis {
+		t.Fatalf("oversized age decoded as %v (err %v), want %d", got, err, int64(maxAgeMillis))
+	}
+
+	// A truncated age section is advisory damage only: table intact,
+	// ages all unknown.
+	full := appendMembership(nil, groups, ages)
+	entries, got, _, err = decodeMembership(full[:len(full)-1])
+	if err != nil || len(entries) != 3 {
+		t.Fatalf("truncated section broke the table: %v %+v", err, entries)
+	}
+	for i, a := range got {
+		if a != AgeUnknown {
+			t.Errorf("truncated section: age[%d] = %d, want AgeUnknown", i, a)
+		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 // path — the emission order, PRNG draws, and mass fold order are the
 // same, only the memory layout differs.
 type Columnar struct {
+	w0, v0   []float64 // construction-time mass, the Reset targets
 	w, v     []float64
 	inW, inV []float64
 	est      []float64
@@ -29,6 +30,8 @@ func NewColumnar(vs, ws []float64) *Columnar {
 	}
 	n := len(vs)
 	c := &Columnar{
+		w0:     append([]float64(nil), ws...),
+		v0:     append([]float64(nil), vs...),
 		w:      append([]float64(nil), ws...),
 		v:      append([]float64(nil), vs...),
 		inW:    make([]float64, n),
@@ -40,6 +43,16 @@ func NewColumnar(vs, ws []float64) *Columnar {
 		c.refreshEstimate(i)
 	}
 	return c
+}
+
+// Reset restores host id to its construction-time mass, discarding
+// everything gossip accumulated — the columnar twin of Node.Reset.
+func (c *Columnar) Reset(id gossip.NodeID) {
+	i := int(id)
+	c.w[i], c.v[i] = c.w0[i], c.v0[i]
+	c.inW[i], c.inV[i] = 0, 0
+	c.hasEst[i] = false
+	c.refreshEstimate(i)
 }
 
 // NewColumnarAverage returns a columnar population configured for

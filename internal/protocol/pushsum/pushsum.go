@@ -34,8 +34,9 @@ type Mass struct {
 
 // Node is one Push-Sum host.
 type Node struct {
-	id   gossip.NodeID
-	w, v float64
+	id     gossip.NodeID
+	w0, v0 float64 // construction-time mass, the Reset target
+	w, v   float64
 
 	inW, inV float64
 	received bool
@@ -57,9 +58,23 @@ var (
 
 // New returns a Push-Sum host with initial value v0 and weight w0.
 func New(id gossip.NodeID, v0, w0 float64) *Node {
-	n := &Node{id: id, w: w0, v: v0}
+	n := &Node{id: id, w0: w0, v0: v0, w: w0, v: v0}
 	n.refreshEstimate()
 	return n
+}
+
+// Reset restores the host to its freshly-constructed state: all
+// accumulated gossip mass is discarded and the construction-time mass
+// re-sourced. It models a crashed process restarting from its local
+// data value — the round-engine twin of the live cluster's
+// kill-and-Replace choreography.
+func (n *Node) Reset() {
+	n.w, n.v = n.w0, n.v0
+	n.inW, n.inV = 0, 0
+	n.received = false
+	n.out = Mass{}
+	n.hasEst = false
+	n.refreshEstimate()
 }
 
 // NewAverage returns a host configured for network averaging: weight 1

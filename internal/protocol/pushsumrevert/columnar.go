@@ -81,6 +81,23 @@ func (c *Columnar) Config() Config { return c.cfg }
 // Mass returns host id's current mass vector.
 func (c *Columnar) Mass(id gossip.NodeID) Mass { return Mass{W: c.w[id], V: c.v[id]} }
 
+// Reset restores host id to its initial endowment, discarding held
+// mass and the Full-Transfer window — the columnar twin of Node.Reset.
+func (c *Columnar) Reset(id gossip.NodeID) {
+	i := int(id)
+	c.w[i], c.v[i] = c.w0[i], c.mv0[i]
+	c.inW[i], c.inV[i] = 0, 0
+	c.inMsgs[i] = 0
+	if c.cfg.FullTransfer {
+		lo := i * c.cfg.Window
+		for j := lo; j < lo+c.cfg.Window; j++ {
+			c.histW[j], c.histV[j] = 0, 0
+		}
+		c.histPos[i], c.histLen[i] = 0, 0
+	}
+	c.est[i], c.hasEst[i] = c.v0[i], true
+}
+
 // BeginRange implements gossip.ColumnarAgent.
 func (c *Columnar) BeginRange(rc *gossip.ColRound, lo, hi int) {
 	alive := rc.Alive

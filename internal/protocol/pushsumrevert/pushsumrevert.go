@@ -182,6 +182,27 @@ func NewObserver(id gossip.NodeID, cfg Config) *Node {
 	return n
 }
 
+// Reset restores the host to its freshly-constructed state: held and
+// in-flight gossip mass is discarded, the initial endowment (w₀, w₀·v₀)
+// re-sourced, and the Full-Transfer window cleared. It models a crashed
+// process restarting from its local data value — the round-engine twin
+// of the live cluster's kill-and-Replace choreography. Observers
+// (w₀ = 0) reset to an empty, not-yet-converged state.
+func (n *Node) Reset() {
+	n.w, n.v = n.w0, n.mv0
+	n.inW, n.inV = 0, 0
+	n.inMsgs = 0
+	n.out = Mass{}
+	for i := range n.histW {
+		n.histW[i], n.histV[i] = 0, 0
+	}
+	n.histPos, n.histLen = 0, 0
+	n.est, n.hasEst = 0, false
+	if n.w0 > 0 {
+		n.est, n.hasEst = n.v0, true
+	}
+}
+
 // ID returns the host id.
 func (n *Node) ID() gossip.NodeID { return n.id }
 
